@@ -1,0 +1,171 @@
+// nofis_cli — command-line front end for the library.
+//
+//   nofis_cli list
+//       Show the registered test cases with golden probabilities and
+//       per-case budgets.
+//   nofis_cli estimate --case Leaf [--method NOFIS] [--repeats 3] [--seed 1]
+//       Run one estimator at its Table-1 budget and report
+//       estimate / calls / log-error per repeat.
+//   nofis_cli levels --case Opamp [--num 5] [--pilot 500] [--seed 1]
+//       Print an automatically selected nested-subset schedule.
+//   nofis_cli train --case Leaf --save leaf.nofisflow [--seed 1]
+//       Train the NOFIS proposal at the case budget and serialise it.
+//   nofis_cli reuse --case Leaf --load leaf.nofisflow [--nis 5000] [--seed 2]
+//       Reload a trained proposal and draw a fresh importance-sampling
+//       estimate without retraining.
+
+#include <cstdio>
+#include <cstring>
+
+#include "../bench/bench_common.hpp"
+#include "core/levels.hpp"
+#include "flow/serialize.hpp"
+
+namespace {
+
+using namespace nofis;
+using namespace nofis::bench;
+
+int cmd_list() {
+    std::printf("%-12s %-5s %-12s %-14s %-10s\n", "case", "dim", "golden",
+                "nofis calls", "levels");
+    for (const auto& name : testcases::all_case_names()) {
+        const auto tc = testcases::make_case(name);
+        const auto b = tc->nofis_budget();
+        std::printf("%-12s %-5zu %-12.3e %-14zu %zu\n", name.c_str(),
+                    tc->dim(), tc->golden_pr(), b.total_calls(),
+                    b.levels.size());
+    }
+    return 0;
+}
+
+int cmd_estimate(int argc, char** argv) {
+    const std::string case_name = arg_value(argc, argv, "--case", "Leaf");
+    const std::string method = arg_value(argc, argv, "--method", "NOFIS");
+    const auto repeats = static_cast<std::size_t>(std::strtoull(
+        arg_value(argc, argv, "--repeats", "3").c_str(), nullptr, 10));
+    const auto seed = std::strtoull(
+        arg_value(argc, argv, "--seed", "1").c_str(), nullptr, 10);
+
+    const auto tc = testcases::make_case(case_name);
+    const auto est = make_estimator(method, *tc);
+    std::printf("%s on %s (golden %.3e), %zu repeat(s)\n", method.c_str(),
+                case_name.c_str(), tc->golden_pr(), repeats);
+    double mean_err = 0.0;
+    for (std::size_t r = 0; r < repeats; ++r) {
+        rng::Engine eng(seed + 7919 * r);
+        const auto res = est->estimate(*tc, eng);
+        const double err = estimators::log_error(res.p_hat, tc->golden_pr());
+        mean_err += err;
+        std::printf("  run %zu: p = %.4e  calls = %zu  log-err = %.3f%s\n",
+                    r, res.p_hat, res.calls, err,
+                    res.failed ? "  [FAILED]" : "");
+    }
+    std::printf("mean log-error: %.3f\n",
+                mean_err / static_cast<double>(repeats));
+    return 0;
+}
+
+int cmd_levels(int argc, char** argv) {
+    const std::string case_name = arg_value(argc, argv, "--case", "Leaf");
+    const auto num = static_cast<std::size_t>(std::strtoull(
+        arg_value(argc, argv, "--num", "5").c_str(), nullptr, 10));
+    const auto pilot = static_cast<std::size_t>(std::strtoull(
+        arg_value(argc, argv, "--pilot", "500").c_str(), nullptr, 10));
+    const auto seed = std::strtoull(
+        arg_value(argc, argv, "--seed", "1").c_str(), nullptr, 10);
+
+    const auto tc = testcases::make_case(case_name);
+    estimators::CountedProblem counted(*tc);
+    rng::Engine eng(seed);
+    core::AutoLevelConfig cfg;
+    cfg.num_levels = num;
+    cfg.pilot_samples = pilot;
+    const auto levels = core::auto_levels(counted, eng, cfg);
+    std::printf("auto levels for %s (%zu pilot calls):\n", case_name.c_str(),
+                counted.calls());
+    for (double a : levels.levels()) std::printf("  %.6g\n", a);
+    const auto manual = tc->nofis_budget().levels;
+    std::printf("hand-tuned schedule for comparison:\n");
+    for (double a : manual) std::printf("  %.6g\n", a);
+    return 0;
+}
+
+int cmd_train(int argc, char** argv) {
+    const std::string case_name = arg_value(argc, argv, "--case", "Leaf");
+    const std::string path =
+        arg_value(argc, argv, "--save", case_name + ".nofisflow");
+    const auto seed = std::strtoull(
+        arg_value(argc, argv, "--seed", "1").c_str(), nullptr, 10);
+
+    const auto tc = testcases::make_case(case_name);
+    const auto budget = tc->nofis_budget();
+    core::NofisEstimator est(nofis_config_from_budget(budget),
+                             core::LevelSchedule::manual(budget.levels));
+    rng::Engine eng(seed);
+    auto run = est.run(*tc, eng);
+    std::printf("trained %s: p = %.4e (calls %zu, log-err %.3f)\n",
+                case_name.c_str(), run.estimate.p_hat, run.estimate.calls,
+                estimators::log_error(run.estimate.p_hat, tc->golden_pr()));
+    flow::save_stack(*run.flow, path);
+    std::printf("proposal saved to %s\n", path.c_str());
+    return 0;
+}
+
+int cmd_reuse(int argc, char** argv) {
+    const std::string case_name = arg_value(argc, argv, "--case", "Leaf");
+    const std::string path =
+        arg_value(argc, argv, "--load", case_name + ".nofisflow");
+    const auto nis = static_cast<std::size_t>(std::strtoull(
+        arg_value(argc, argv, "--nis", "5000").c_str(), nullptr, 10));
+    const auto seed = std::strtoull(
+        arg_value(argc, argv, "--seed", "2").c_str(), nullptr, 10);
+
+    const auto tc = testcases::make_case(case_name);
+    const auto stack = flow::load_stack(path);
+    if (stack.dim() != tc->dim()) {
+        std::fprintf(stderr, "error: flow dim %zu != case dim %zu\n",
+                     stack.dim(), tc->dim());
+        return 1;
+    }
+    rng::Engine eng(seed);
+    core::IsDiagnostics diag;
+    const auto res = core::NofisEstimator::importance_estimate(
+        stack, *tc, eng, nis, &diag);
+    std::printf("reused proposal from %s on %s:\n", path.c_str(),
+                case_name.c_str());
+    std::printf("  p = %.4e  calls = %zu  log-err = %.3f  hits = %zu  "
+                "ESS = %.1f\n",
+                res.p_hat, res.calls,
+                estimators::log_error(res.p_hat, tc->golden_pr()), diag.hits,
+                diag.effective_sample_size);
+    return 0;
+}
+
+void usage() {
+    std::fprintf(stderr,
+                 "usage: nofis_cli <list|estimate|levels|train|reuse> "
+                 "[options]\n(see the header of apps/nofis_cli.cpp)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "list") return cmd_list();
+        if (cmd == "estimate") return cmd_estimate(argc, argv);
+        if (cmd == "levels") return cmd_levels(argc, argv);
+        if (cmd == "train") return cmd_train(argc, argv);
+        if (cmd == "reuse") return cmd_reuse(argc, argv);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    usage();
+    return 1;
+}

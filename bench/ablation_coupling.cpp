@@ -1,0 +1,66 @@
+// Architecture ablation: RealNVP affine couplings (the paper's backbone)
+// versus NICE additive couplings (volume preserving) versus affine+ActNorm,
+// on the Leaf case at the fixed Table-1 budget.
+//
+// Usage: ablation_coupling [--repeats 3]
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "testcases/synthetic.hpp"
+
+int main(int argc, char** argv) {
+    using namespace nofis;
+    using namespace nofis::bench;
+
+    const auto repeats = static_cast<std::size_t>(std::strtoull(
+        arg_value(argc, argv, "--repeats", "3").c_str(), nullptr, 10));
+
+    testcases::LeafCase leaf;
+    const auto budget = leaf.nofis_budget();
+
+    struct Variant {
+        const char* name;
+        flow::CouplingKind kind;
+        bool actnorm;
+    };
+    const Variant variants[] = {
+        {"affine (RealNVP)", flow::CouplingKind::kAffine, false},
+        {"affine + ActNorm", flow::CouplingKind::kAffine, true},
+        {"additive (NICE)", flow::CouplingKind::kAdditive, false},
+        {"additive + ActNorm", flow::CouplingKind::kAdditive, true},
+    };
+
+    std::printf("Coupling-architecture ablation on Leaf — %zu repeat(s), "
+                "%zu-call budget\n", repeats, budget.total_calls());
+    std::printf("%-20s %-10s %-10s %-8s\n", "variant", "log-err", "ess",
+                "hits");
+
+    for (const auto& v : variants) {
+        core::NofisConfig cfg = nofis_config_from_budget(budget);
+        cfg.coupling = v.kind;
+        cfg.use_actnorm = v.actnorm;
+        core::NofisEstimator est(cfg,
+                                 core::LevelSchedule::manual(budget.levels));
+        double err = 0.0;
+        double ess = 0.0;
+        double hits = 0.0;
+        for (std::size_t r = 0; r < repeats; ++r) {
+            rng::Engine eng(4321 + 13 * r);
+            const auto run = est.run(leaf, eng);
+            err += estimators::log_error(run.estimate.p_hat,
+                                         leaf.golden_pr());
+            ess += run.is_diag.effective_sample_size;
+            hits += static_cast<double>(run.is_diag.hits);
+        }
+        const auto dr = static_cast<double>(repeats);
+        std::printf("%-20s %-10.3f %-10.1f %-8.0f\n", v.name, err / dr,
+                    ess / dr, hits / dr);
+        std::fflush(stdout);
+    }
+    std::printf("\n(Finding: in this few-update training regime the "
+                "volume-preserving NICE coupling is often MORE accurate "
+                "than RealNVP —\nwithout exp scalings it trains more "
+                "stably; see EXPERIMENTS.md §coupling-ablation.)\n");
+    return 0;
+}

@@ -1,0 +1,152 @@
+#pragma once
+
+// Shared glue for the experiment harnesses in bench/: builds each method's
+// estimator from a test case's per-case budgets, runs repeated estimates,
+// and aggregates the Table-1 metrics (mean calls, mean |log error|).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/nofis.hpp"
+#include "estimators/adaptive_is.hpp"
+#include "estimators/monte_carlo.hpp"
+#include "estimators/sir.hpp"
+#include "estimators/sss.hpp"
+#include "estimators/suc.hpp"
+#include "estimators/sus.hpp"
+#include "testcases/registry.hpp"
+
+namespace nofis::bench {
+
+inline core::NofisConfig nofis_config_from_budget(
+    const testcases::NofisBudget& b) {
+    core::NofisConfig cfg;
+    cfg.layers_per_block = b.layers_per_block;
+    cfg.hidden = b.hidden;
+    cfg.epochs = b.epochs;
+    cfg.samples_per_epoch = b.samples_per_epoch;
+    cfg.learning_rate = b.learning_rate;
+    cfg.lr_decay = b.lr_decay;
+    cfg.tau = b.tau;
+    cfg.n_is = b.n_is;
+    cfg.defensive_weight = b.defensive_weight;
+    cfg.defensive_sigma = b.defensive_sigma;
+    return cfg;
+}
+
+inline std::vector<std::string> all_method_names() {
+    return {"MC", "SIR", "SUC", "SUS", "SSS", "Adapt-IS", "NOFIS"};
+}
+
+/// Builds the estimator for `method` sized by the case's budgets.
+inline std::unique_ptr<estimators::Estimator> make_estimator(
+    const std::string& method, const testcases::TestCase& tc) {
+    const auto bb = tc.baseline_budget();
+    if (method == "MC")
+        return std::make_unique<estimators::MonteCarloEstimator>(
+            estimators::MonteCarloEstimator::Config{bb.mc_samples, 8192});
+    if (method == "SIR") {
+        estimators::SirEstimator::Config cfg;
+        cfg.train_samples = bb.sir_train_samples;
+        cfg.surrogate_evals = bb.sir_surrogate_evals;
+        return std::make_unique<estimators::SirEstimator>(cfg);
+    }
+    if (method == "SUC") {
+        estimators::SubsetClassificationEstimator::Config cfg;
+        cfg.samples_per_level = bb.suc_samples_per_level;
+        cfg.max_levels = bb.suc_max_levels;
+        return std::make_unique<estimators::SubsetClassificationEstimator>(cfg);
+    }
+    if (method == "SUS") {
+        estimators::SubsetSimulationEstimator::Config cfg;
+        cfg.samples_per_level = bb.sus_samples_per_level;
+        cfg.max_levels = bb.sus_max_levels;
+        return std::make_unique<estimators::SubsetSimulationEstimator>(cfg);
+    }
+    if (method == "SSS") {
+        estimators::ScaledSigmaEstimator::Config cfg;
+        cfg.total_samples = bb.sss_total_samples;
+        return std::make_unique<estimators::ScaledSigmaEstimator>(cfg);
+    }
+    if (method == "Adapt-IS") {
+        estimators::AdaptiveIsEstimator::Config cfg;
+        cfg.iterations = bb.ais_iterations;
+        cfg.samples_per_iteration = bb.ais_samples_per_iteration;
+        cfg.final_samples = bb.ais_final_samples;
+        return std::make_unique<estimators::AdaptiveIsEstimator>(cfg);
+    }
+    if (method == "NOFIS") {
+        const auto nb = tc.nofis_budget();
+        return std::make_unique<core::NofisEstimator>(
+            nofis_config_from_budget(nb),
+            core::LevelSchedule::manual(nb.levels));
+    }
+    throw std::invalid_argument("make_estimator: unknown method " + method);
+}
+
+struct CellResult {
+    double mean_calls = 0.0;
+    double mean_log_error = 0.0;
+    std::size_t failures = 0;  ///< runs flagged failed ("—" when all fail)
+    std::size_t repeats = 0;
+};
+
+/// Runs `repeats` independent estimates of `method` on `tc`.
+inline CellResult run_cell(const std::string& method,
+                           const testcases::TestCase& tc, std::size_t repeats,
+                           std::uint64_t seed) {
+    const auto est = make_estimator(method, tc);
+    CellResult cell;
+    cell.repeats = repeats;
+    for (std::size_t r = 0; r < repeats; ++r) {
+        rng::Engine eng(seed + 7919 * r);
+        const auto res = est->estimate(tc, eng);
+        if (res.failed) ++cell.failures;
+        cell.mean_calls += static_cast<double>(res.calls);
+        cell.mean_log_error += estimators::log_error(res.p_hat, tc.golden_pr());
+    }
+    cell.mean_calls /= static_cast<double>(repeats);
+    cell.mean_log_error /= static_cast<double>(repeats);
+    return cell;
+}
+
+/// "12.3K" style formatting used by the paper's Table 1.
+inline std::string format_calls(double calls) {
+    char buf[32];
+    if (calls >= 1000.0)
+        std::snprintf(buf, sizeof(buf), "%.1fK", calls / 1000.0);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0f", calls);
+    return buf;
+}
+
+/// Parses "a,b,c" lists from CLI flags.
+inline std::vector<std::string> split_csv(const std::string& s) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t comma = s.find(',', pos);
+        if (comma == std::string::npos) {
+            out.push_back(s.substr(pos));
+            break;
+        }
+        out.push_back(s.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+/// Minimal flag reader: returns the value following "--name", or fallback.
+inline std::string arg_value(int argc, char** argv, const char* name,
+                             const std::string& fallback) {
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+    return fallback;
+}
+
+}  // namespace nofis::bench

@@ -1,0 +1,70 @@
+// Extension bench: line sampling (the classical method behind the paper's
+// oscillator reference [18]) against NOFIS and SUS on cases spanning the
+// geometry spectrum — from a nearly-affine limit state (Oscillator) to
+// curved/multimodal regions (Leaf, YBranch) where direction-based methods
+// lose ground.
+//
+// Usage: extra_baselines [--repeats 3] [--cases Leaf,Oscillator,YBranch]
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "estimators/line_sampling.hpp"
+
+int main(int argc, char** argv) {
+    using namespace nofis;
+    using namespace nofis::bench;
+
+    const auto repeats = static_cast<std::size_t>(std::strtoull(
+        arg_value(argc, argv, "--repeats", "3").c_str(), nullptr, 10));
+    const auto cases = split_csv(
+        arg_value(argc, argv, "--cases", "Leaf,Oscillator,YBranch"));
+
+    std::printf("Line-sampling extension vs NOFIS/SUS — %zu repeat(s)\n",
+                repeats);
+    std::printf("%-12s %-20s %-20s %-20s\n", "case", "LineSampling",
+                "SUS", "NOFIS");
+
+    for (const auto& name : cases) {
+        const auto tc = testcases::make_case(name);
+        std::printf("%-12s", name.c_str());
+
+        // Line sampling sized to ~10-15% of the NOFIS budget: its strength
+        // is extreme efficiency when the geometry cooperates.
+        estimators::LineSamplingEstimator ls(
+            {.num_lines = 300, .pilot_samples = 500, .pilot_sigma = 3.0});
+        double err = 0.0;
+        double calls = 0.0;
+        std::size_t fails = 0;
+        for (std::size_t r = 0; r < repeats; ++r) {
+            rng::Engine eng(31337 + 7 * r);
+            const auto res = ls.estimate(*tc, eng);
+            if (res.failed) ++fails;
+            err += estimators::log_error(res.p_hat, tc->golden_pr());
+            calls += static_cast<double>(res.calls);
+        }
+        {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "%s / %.2f%s",
+                          format_calls(calls / repeats).c_str(),
+                          err / static_cast<double>(repeats),
+                          fails == repeats ? " (—)" : "");
+            std::printf(" %-20s", buf);
+            std::fflush(stdout);
+        }
+        for (const char* method : {"SUS", "NOFIS"}) {
+            const auto cell = run_cell(method, *tc, repeats, 31337);
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), "%s / %.2f",
+                          format_calls(cell.mean_calls).c_str(),
+                          cell.mean_log_error);
+            std::printf(" %-20s", buf);
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(Line sampling shines on near-affine limit states at a "
+                "fraction of the budget, but needs a single dominant\n"
+                "failure direction — the trade NOFIS does not make.)\n");
+    return 0;
+}

@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark) for the numeric substrates: matmul,
+// LU solve, coupling-layer forward/inverse, full-flow sampling, MNA AC
+// solve, and one g() evaluation of each expensive test-case model. These
+// bound the wall-clock cost of a NOFIS run (MEN forward passes + g calls).
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/ac.hpp"
+#include "circuit/charge_pump.hpp"
+#include "circuit/opamp.hpp"
+#include "flow/coupling_stack.hpp"
+#include "linalg/lu.hpp"
+#include "photonic/ybranch.hpp"
+#include "rng/normal.hpp"
+
+namespace {
+
+using namespace nofis;
+
+void BM_MatMul(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    rng::Engine eng(1);
+    const auto a = rng::standard_normal_matrix(eng, n, n);
+    const auto b = rng::standard_normal_matrix(eng, n, n);
+    for (auto _ : state) benchmark::DoNotOptimize(a.matmul(b));
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_LuSolve(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    rng::Engine eng(2);
+    const auto a = rng::standard_normal_matrix(eng, n, n) +
+                   linalg::Matrix::identity(n) * (2.0 * std::sqrt(n));
+    std::vector<double> b(n);
+    rng::fill_standard_normal(eng, b);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(linalg::LuDecomposition(a).solve(b));
+}
+BENCHMARK(BM_LuSolve)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_CouplingForward(benchmark::State& state) {
+    const auto dim = static_cast<std::size_t>(state.range(0));
+    rng::Engine eng(3);
+    flow::StackConfig cfg;
+    cfg.dim = dim;
+    cfg.num_blocks = 1;
+    cfg.layers_per_block = 8;
+    flow::CouplingStack stack(cfg, eng);
+    const auto z0 = rng::standard_normal_matrix(eng, 100, dim);
+    std::vector<double> ld(100);
+    for (auto _ : state) {
+        std::fill(ld.begin(), ld.end(), 0.0);
+        benchmark::DoNotOptimize(stack.transport_range(z0, 0, 1, ld));
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_CouplingForward)->Arg(2)->Arg(16)->Arg(62);
+
+void BM_FlowSampleWithLogProb(benchmark::State& state) {
+    rng::Engine eng(4);
+    flow::StackConfig cfg;
+    cfg.dim = 16;
+    cfg.num_blocks = 5;
+    cfg.layers_per_block = 8;
+    flow::CouplingStack stack(cfg, eng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(stack.sample(eng, 100, 5));
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_FlowSampleWithLogProb);
+
+void BM_FlowInverseLogProb(benchmark::State& state) {
+    rng::Engine eng(5);
+    flow::StackConfig cfg;
+    cfg.dim = 16;
+    cfg.num_blocks = 5;
+    cfg.layers_per_block = 8;
+    flow::CouplingStack stack(cfg, eng);
+    const auto s = stack.sample(eng, 100, 5);
+    for (auto _ : state) benchmark::DoNotOptimize(stack.log_prob(s.z, 5));
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_FlowInverseLogProb);
+
+void BM_OpampGainEval(benchmark::State& state) {
+    circuit::OpampModel amp;
+    rng::Engine eng(6);
+    std::vector<double> x(5);
+    for (auto _ : state) {
+        rng::fill_standard_normal(eng, x);
+        benchmark::DoNotOptimize(amp.gain_db(x));
+    }
+}
+BENCHMARK(BM_OpampGainEval);
+
+void BM_ChargePumpEval(benchmark::State& state) {
+    circuit::ChargePumpModel cp;
+    rng::Engine eng(7);
+    std::vector<double> x(16);
+    for (auto _ : state) {
+        rng::fill_standard_normal(eng, x);
+        benchmark::DoNotOptimize(cp.mismatch_amps(x));
+    }
+}
+BENCHMARK(BM_ChargePumpEval);
+
+void BM_YBranchEval(benchmark::State& state) {
+    photonic::YBranchModel yb;
+    rng::Engine eng(8);
+    std::vector<double> x(26);
+    for (auto _ : state) {
+        rng::fill_standard_normal(eng, x);
+        benchmark::DoNotOptimize(yb.transmission(x));
+    }
+}
+BENCHMARK(BM_YBranchEval);
+
+}  // namespace
+
+BENCHMARK_MAIN();

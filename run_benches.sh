@@ -1,0 +1,8 @@
+#!/bin/sh
+# Regenerates every paper table/figure and the extension ablations.
+cd "$(dirname "$0")"
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "=== $b ==="
+  "$b" || echo "BENCH $b FAILED"
+done

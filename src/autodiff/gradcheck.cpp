@@ -1,0 +1,39 @@
+#include "autodiff/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nofis::autodiff {
+
+GradCheckResult grad_check(const std::function<Var(const Var&)>& f,
+                           const linalg::Matrix& input, double eps,
+                           double tol) {
+    // Analytic gradient.
+    Var x(input, /*requires_grad=*/true);
+    Var out = f(x);
+    out.backward();
+    const linalg::Matrix analytic = x.grad();
+
+    GradCheckResult res;
+    linalg::Matrix probe = input;
+    for (std::size_t i = 0; i < probe.size(); ++i) {
+        const double orig = probe.flat()[i];
+        probe.flat()[i] = orig + eps;
+        const double fp = f(Var(probe)).value()(0, 0);
+        probe.flat()[i] = orig - eps;
+        const double fm = f(Var(probe)).value()(0, 0);
+        probe.flat()[i] = orig;
+
+        const double numeric = (fp - fm) / (2.0 * eps);
+        const double a = analytic.flat()[i];
+        const double abs_err = std::abs(a - numeric);
+        const double rel_err =
+            abs_err / std::max({1.0, std::abs(a), std::abs(numeric)});
+        res.max_abs_error = std::max(res.max_abs_error, abs_err);
+        res.max_rel_error = std::max(res.max_rel_error, rel_err);
+    }
+    res.passed = res.max_rel_error <= tol;
+    return res;
+}
+
+}  // namespace nofis::autodiff

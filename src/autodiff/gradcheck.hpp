@@ -1,0 +1,27 @@
+#pragma once
+
+#include <functional>
+
+#include "autodiff/var.hpp"
+
+namespace nofis::autodiff {
+
+/// Result of a finite-difference gradient verification.
+struct GradCheckResult {
+    double max_abs_error = 0.0;   // max |analytic - numeric|
+    double max_rel_error = 0.0;   // max scaled error
+    bool passed = false;
+};
+
+/// Verifies the reverse-mode gradient of `f` with respect to `input` by
+/// central differences.
+///
+/// `f` must build a fresh graph from the Var it is given and return a scalar
+/// (1x1) Var. `input` supplies the evaluation point; every element is
+/// perturbed by ±eps. Passing tolerance is on the *scaled* error
+/// |a - n| / max(1, |a|, |n|) <= tol.
+GradCheckResult grad_check(
+    const std::function<Var(const Var&)>& f, const linalg::Matrix& input,
+    double eps = 1e-5, double tol = 1e-6);
+
+}  // namespace nofis::autodiff

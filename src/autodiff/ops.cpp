@@ -1,0 +1,317 @@
+#include "autodiff/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nofis::autodiff {
+
+namespace {
+
+using linalg::Matrix;
+
+/// Creates the result node; wires parents; only installs `bw` when gradient
+/// flow is actually needed.
+template <typename Backward>
+Var make_op(Matrix value, std::vector<std::shared_ptr<Node>> parents,
+            Backward&& bw) {
+    bool req = false;
+    for (const auto& p : parents) req = req || p->requires_grad;
+    auto node = std::make_shared<Node>(std::move(value), req);
+    node->parents = std::move(parents);
+    if (req) node->backward = std::forward<Backward>(bw);
+    return Var(node);
+}
+
+/// Adds `delta` into `parent`'s grad if that parent participates in
+/// differentiation.
+void accumulate(Node& parent, const Matrix& delta) {
+    if (!parent.requires_grad) return;
+    parent.ensure_grad();
+    parent.grad += delta;
+}
+
+void check_same_shape(const Var& a, const Var& b, const char* op) {
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        throw std::invalid_argument(std::string(op) + ": shape mismatch");
+}
+
+}  // namespace
+
+Var matmul(const Var& a, const Var& b) {
+    if (a.cols() != b.rows())
+        throw std::invalid_argument("matmul: inner dimension mismatch");
+    auto pa = a.node();
+    auto pb = b.node();
+    return make_op(a.value().matmul(b.value()), {pa, pb},
+                   [pa, pb](Node& self) {
+                       if (pa->requires_grad)
+                           accumulate(*pa,
+                                      self.grad.matmul(pb->value.transposed()));
+                       if (pb->requires_grad)
+                           accumulate(*pb,
+                                      pa->value.transposed().matmul(self.grad));
+                   });
+}
+
+Var add(const Var& a, const Var& b) {
+    check_same_shape(a, b, "add");
+    auto pa = a.node();
+    auto pb = b.node();
+    return make_op(a.value() + b.value(), {pa, pb}, [pa, pb](Node& self) {
+        accumulate(*pa, self.grad);
+        accumulate(*pb, self.grad);
+    });
+}
+
+Var sub(const Var& a, const Var& b) {
+    check_same_shape(a, b, "sub");
+    auto pa = a.node();
+    auto pb = b.node();
+    return make_op(a.value() - b.value(), {pa, pb}, [pa, pb](Node& self) {
+        accumulate(*pa, self.grad);
+        if (pb->requires_grad) accumulate(*pb, -self.grad);
+    });
+}
+
+Var mul(const Var& a, const Var& b) {
+    check_same_shape(a, b, "mul");
+    auto pa = a.node();
+    auto pb = b.node();
+    return make_op(a.value().hadamard(b.value()), {pa, pb},
+                   [pa, pb](Node& self) {
+                       if (pa->requires_grad)
+                           accumulate(*pa, self.grad.hadamard(pb->value));
+                       if (pb->requires_grad)
+                           accumulate(*pb, self.grad.hadamard(pa->value));
+                   });
+}
+
+Var add_bias(const Var& x, const Var& bias) {
+    if (bias.rows() != 1 || bias.cols() != x.cols())
+        throw std::invalid_argument("add_bias: bias must be 1 x cols(x)");
+    auto px = x.node();
+    auto pb = bias.node();
+    return make_op(x.value().add_row_broadcast(bias.value()), {px, pb},
+                   [px, pb](Node& self) {
+                       accumulate(*px, self.grad);
+                       if (pb->requires_grad)
+                           accumulate(*pb, self.grad.col_sums());
+                   });
+}
+
+Var neg(const Var& a) { return scale(a, -1.0); }
+
+Var scale(const Var& a, double s) {
+    auto pa = a.node();
+    return make_op(a.value() * s, {pa}, [pa, s](Node& self) {
+        accumulate(*pa, self.grad * s);
+    });
+}
+
+Var add_const(const Var& a, double c) {
+    auto pa = a.node();
+    return make_op(a.value().map([c](double v) { return v + c; }), {pa},
+                   [pa](Node& self) { accumulate(*pa, self.grad); });
+}
+
+Var tanh_v(const Var& a) {
+    auto pa = a.node();
+    Matrix y = a.value().map([](double v) { return std::tanh(v); });
+    auto node = std::make_shared<Node>(std::move(y), pa->requires_grad);
+    node->parents = {pa};
+    if (node->requires_grad) {
+        node->backward = [pa](Node& self) {
+            Matrix d(self.value.rows(), self.value.cols());
+            for (std::size_t i = 0; i < d.size(); ++i) {
+                const double t = self.value.flat()[i];
+                d.flat()[i] = self.grad.flat()[i] * (1.0 - t * t);
+            }
+            accumulate(*pa, d);
+        };
+    }
+    return Var(node);
+}
+
+Var sigmoid_v(const Var& a) {
+    auto pa = a.node();
+    Matrix y = a.value().map(
+        [](double v) { return 1.0 / (1.0 + std::exp(-v)); });
+    auto node = std::make_shared<Node>(std::move(y), pa->requires_grad);
+    node->parents = {pa};
+    if (node->requires_grad) {
+        node->backward = [pa](Node& self) {
+            Matrix d(self.value.rows(), self.value.cols());
+            for (std::size_t i = 0; i < d.size(); ++i) {
+                const double s = self.value.flat()[i];
+                d.flat()[i] = self.grad.flat()[i] * s * (1.0 - s);
+            }
+            accumulate(*pa, d);
+        };
+    }
+    return Var(node);
+}
+
+Var relu_v(const Var& a) {
+    auto pa = a.node();
+    return make_op(a.value().map([](double v) { return v > 0.0 ? v : 0.0; }),
+                   {pa}, [pa](Node& self) {
+                       Matrix d(self.grad);
+                       for (std::size_t i = 0; i < d.size(); ++i)
+                           if (pa->value.flat()[i] <= 0.0) d.flat()[i] = 0.0;
+                       accumulate(*pa, d);
+                   });
+}
+
+Var leaky_relu_v(const Var& a, double slope) {
+    auto pa = a.node();
+    return make_op(
+        a.value().map([slope](double v) { return v > 0.0 ? v : slope * v; }),
+        {pa}, [pa, slope](Node& self) {
+            Matrix d(self.grad);
+            for (std::size_t i = 0; i < d.size(); ++i)
+                if (pa->value.flat()[i] <= 0.0) d.flat()[i] *= slope;
+            accumulate(*pa, d);
+        });
+}
+
+Var exp_v(const Var& a) {
+    auto pa = a.node();
+    Matrix y = a.value().map([](double v) { return std::exp(v); });
+    auto node = std::make_shared<Node>(std::move(y), pa->requires_grad);
+    node->parents = {pa};
+    if (node->requires_grad) {
+        node->backward = [pa](Node& self) {
+            accumulate(*pa, self.grad.hadamard(self.value));
+        };
+    }
+    return Var(node);
+}
+
+Var log_v(const Var& a) {
+    auto pa = a.node();
+    return make_op(a.value().map([](double v) { return std::log(v); }), {pa},
+                   [pa](Node& self) {
+                       Matrix d(self.grad.rows(), self.grad.cols());
+                       for (std::size_t i = 0; i < d.size(); ++i)
+                           d.flat()[i] =
+                               self.grad.flat()[i] / pa->value.flat()[i];
+                       accumulate(*pa, d);
+                   });
+}
+
+Var softplus_v(const Var& a) {
+    auto pa = a.node();
+    // Numerically stable: log(1+e^x) = max(x,0) + log1p(e^{-|x|}).
+    return make_op(
+        a.value().map([](double v) {
+            return std::max(v, 0.0) + std::log1p(std::exp(-std::abs(v)));
+        }),
+        {pa}, [pa](Node& self) {
+            Matrix d(self.grad.rows(), self.grad.cols());
+            for (std::size_t i = 0; i < d.size(); ++i) {
+                const double x = pa->value.flat()[i];
+                d.flat()[i] = self.grad.flat()[i] / (1.0 + std::exp(-x));
+            }
+            accumulate(*pa, d);
+        });
+}
+
+Var square_v(const Var& a) {
+    auto pa = a.node();
+    return make_op(a.value().map([](double v) { return v * v; }), {pa},
+                   [pa](Node& self) {
+                       Matrix d = self.grad.hadamard(pa->value) * 2.0;
+                       accumulate(*pa, d);
+                   });
+}
+
+Var hadamard_const(const Var& a, const linalg::Matrix& c) {
+    if (a.rows() != c.rows() || a.cols() != c.cols())
+        throw std::invalid_argument("hadamard_const: shape mismatch");
+    auto pa = a.node();
+    return make_op(a.value().hadamard(c), {pa}, [pa, c](Node& self) {
+        accumulate(*pa, self.grad.hadamard(c));
+    });
+}
+
+Var sum(const Var& a) {
+    auto pa = a.node();
+    Matrix s(1, 1);
+    s(0, 0) = a.value().sum();
+    return make_op(std::move(s), {pa}, [pa](Node& self) {
+        accumulate(*pa, Matrix(pa->value.rows(), pa->value.cols(),
+                               self.grad(0, 0)));
+    });
+}
+
+Var mean(const Var& a) {
+    auto pa = a.node();
+    Matrix s(1, 1);
+    s(0, 0) = a.value().mean();
+    const double inv_n = 1.0 / static_cast<double>(a.value().size());
+    return make_op(std::move(s), {pa}, [pa, inv_n](Node& self) {
+        accumulate(*pa, Matrix(pa->value.rows(), pa->value.cols(),
+                               self.grad(0, 0) * inv_n));
+    });
+}
+
+Var row_sums(const Var& a) {
+    auto pa = a.node();
+    return make_op(a.value().row_sums(), {pa}, [pa](Node& self) {
+        Matrix d(pa->value.rows(), pa->value.cols());
+        for (std::size_t r = 0; r < d.rows(); ++r)
+            for (std::size_t c = 0; c < d.cols(); ++c)
+                d(r, c) = self.grad(r, 0);
+        accumulate(*pa, d);
+    });
+}
+
+Var select_cols(const Var& a, std::span<const std::size_t> idx) {
+    auto pa = a.node();
+    std::vector<std::size_t> idx_copy(idx.begin(), idx.end());
+    return make_op(a.value().select_cols(idx), {pa},
+                   [pa, idx_copy](Node& self) {
+                       Matrix d(pa->value.rows(), pa->value.cols());
+                       for (std::size_t r = 0; r < d.rows(); ++r)
+                           for (std::size_t j = 0; j < idx_copy.size(); ++j)
+                               d(r, idx_copy[j]) += self.grad(r, j);
+                       accumulate(*pa, d);
+                   });
+}
+
+Var combine_cols(const Var& a, std::span<const std::size_t> idx_a,
+                 const Var& b, std::span<const std::size_t> idx_b,
+                 std::size_t total_cols) {
+    if (a.rows() != b.rows())
+        throw std::invalid_argument("combine_cols: row mismatch");
+    if (idx_a.size() != a.cols() || idx_b.size() != b.cols() ||
+        idx_a.size() + idx_b.size() != total_cols)
+        throw std::invalid_argument("combine_cols: index sizes inconsistent");
+    auto pa = a.node();
+    auto pb = b.node();
+    Matrix out(a.rows(), total_cols);
+    out.scatter_cols(idx_a, a.value());
+    out.scatter_cols(idx_b, b.value());
+    std::vector<std::size_t> ia(idx_a.begin(), idx_a.end());
+    std::vector<std::size_t> ib(idx_b.begin(), idx_b.end());
+    return make_op(std::move(out), {pa, pb}, [pa, pb, ia, ib](Node& self) {
+        if (pa->requires_grad)
+            accumulate(*pa, self.grad.select_cols(ia));
+        if (pb->requires_grad)
+            accumulate(*pb, self.grad.select_cols(ib));
+    });
+}
+
+Var dot_constant(const Var& a, const linalg::Matrix& c) {
+    if (a.rows() != c.rows() || a.cols() != c.cols())
+        throw std::invalid_argument("dot_constant: shape mismatch");
+    auto pa = a.node();
+    Matrix s(1, 1);
+    for (std::size_t i = 0; i < c.size(); ++i)
+        s(0, 0) += a.value().flat()[i] * c.flat()[i];
+    return make_op(std::move(s), {pa}, [pa, c](Node& self) {
+        accumulate(*pa, c * self.grad(0, 0));
+    });
+}
+
+}  // namespace nofis::autodiff

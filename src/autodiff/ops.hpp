@@ -1,0 +1,66 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "autodiff/var.hpp"
+
+namespace nofis::autodiff {
+
+/// Reverse-mode ops over Matrix-valued Vars.
+///
+/// Every op returns a fresh Var whose node records parents and a backward
+/// closure. Gradient flow is pruned automatically: a result requires grad
+/// only if some parent does, and the backward closure only deposits into
+/// parents that require grad — this is what implements the paper's
+/// freeze-earlier-blocks training (frozen parameters simply opt out).
+
+// --- binary ------------------------------------------------------------------
+Var matmul(const Var& a, const Var& b);
+Var add(const Var& a, const Var& b);
+Var sub(const Var& a, const Var& b);
+/// Element-wise (Hadamard) product.
+Var mul(const Var& a, const Var& b);
+/// x + bias with bias (1 x cols) broadcast over rows.
+Var add_bias(const Var& x, const Var& bias);
+
+// --- unary / scalar ------------------------------------------------------------
+Var neg(const Var& a);
+Var scale(const Var& a, double s);
+Var add_const(const Var& a, double c);
+Var tanh_v(const Var& a);
+Var sigmoid_v(const Var& a);
+Var relu_v(const Var& a);
+Var leaky_relu_v(const Var& a, double slope = 0.01);
+Var exp_v(const Var& a);
+/// Natural log; caller guarantees positive inputs.
+Var log_v(const Var& a);
+Var softplus_v(const Var& a);
+Var square_v(const Var& a);
+/// Element-wise product with a constant (non-differentiated) matrix.
+Var hadamard_const(const Var& a, const linalg::Matrix& c);
+
+// --- reductions ----------------------------------------------------------------
+/// Sum of all elements -> 1x1.
+Var sum(const Var& a);
+/// Mean of all elements -> 1x1.
+Var mean(const Var& a);
+/// Row-wise sums -> (rows x 1).
+Var row_sums(const Var& a);
+
+// --- structural ------------------------------------------------------------------
+/// Copy of the columns selected by idx (gradient scatters back).
+Var select_cols(const Var& a, std::span<const std::size_t> idx);
+/// Builds an (rows x total_cols) matrix placing a's columns at idx_a and b's
+/// at idx_b; the two index sets must partition [0, total_cols).
+Var combine_cols(const Var& a, std::span<const std::size_t> idx_a,
+                 const Var& b, std::span<const std::size_t> idx_b,
+                 std::size_t total_cols);
+
+/// <a, c> = Σ_ij a_ij c_ij as a 1x1 Var. The constant c is typically an
+/// externally-computed gradient (e.g. ∂/∂z of a black-box tempered target),
+/// making this the injection point for non-graph gradient information:
+/// d(result)/da = c exactly.
+Var dot_constant(const Var& a, const linalg::Matrix& c);
+
+}  // namespace nofis::autodiff

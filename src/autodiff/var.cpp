@@ -1,0 +1,74 @@
+#include "autodiff/var.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace nofis::autodiff {
+
+void Node::ensure_grad() {
+    if (!grad_ready || grad.rows() != value.rows() ||
+        grad.cols() != value.cols()) {
+        grad = linalg::Matrix(value.rows(), value.cols());
+        grad_ready = true;
+    }
+}
+
+Var::Var(linalg::Matrix value, bool requires_grad)
+    : node_(std::make_shared<Node>(std::move(value), requires_grad)) {}
+
+void Var::zero_grad() {
+    node_->grad = linalg::Matrix(node_->value.rows(), node_->value.cols());
+    node_->grad_ready = true;
+}
+
+namespace {
+
+/// Iterative post-order DFS producing a reverse-topological visit order.
+void topo_sort(const std::shared_ptr<Node>& root,
+               std::vector<Node*>& order) {
+    std::unordered_set<Node*> visited;
+    std::vector<std::pair<Node*, std::size_t>> stack;
+    stack.emplace_back(root.get(), 0);
+    visited.insert(root.get());
+    while (!stack.empty()) {
+        auto& [node, next_child] = stack.back();
+        if (next_child < node->parents.size()) {
+            Node* child = node->parents[next_child].get();
+            ++next_child;
+            if (visited.insert(child).second) stack.emplace_back(child, 0);
+        } else {
+            order.push_back(node);
+            stack.pop_back();
+        }
+    }
+}
+
+}  // namespace
+
+void Var::backward() const {
+    if (!node_) throw std::logic_error("Var::backward on empty Var");
+    if (node_->value.rows() != 1 || node_->value.cols() != 1)
+        throw std::logic_error("Var::backward requires a scalar (1x1) output");
+
+    std::vector<Node*> order;
+    topo_sort(node_, order);
+
+    // Gradient buffers only where gradients can flow — frozen leaves stay
+    // untouched (and unallocated). Leaf parameters keep whatever was
+    // accumulated before the sweep unless the caller zeroed them explicitly
+    // — standard accumulate semantics.
+    for (Node* n : order)
+        if (n->requires_grad) n->ensure_grad();
+
+    node_->ensure_grad();
+    node_->grad(0, 0) += 1.0;
+
+    // `order` is post-order (leaves first); iterate in reverse so each node
+    // is processed after everything that consumes it.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        Node* n = *it;
+        if (n->backward) n->backward(*n);
+    }
+}
+
+}  // namespace nofis::autodiff

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace nofis::autodiff {
+
+/// One node of the reverse-mode computation graph.
+///
+/// `value` is the forward result; `grad` accumulates ∂(scalar output)/∂value
+/// during the backward sweep. `backward` pushes this node's grad into its
+/// parents' grads (chain rule). Nodes are reference-counted so a graph lives
+/// exactly as long as some Var still points into it.
+struct Node {
+    linalg::Matrix value;
+    linalg::Matrix grad;
+    bool requires_grad = false;
+    bool grad_ready = false;  // grad matrix allocated & zeroed for this sweep
+    std::vector<std::shared_ptr<Node>> parents;
+    std::function<void(Node&)> backward;  // may be empty for leaves
+
+    explicit Node(linalg::Matrix v, bool req)
+        : value(std::move(v)), requires_grad(req) {}
+
+    void ensure_grad();
+};
+
+/// Value-semantic handle to a computation-graph node.
+///
+/// A `Var` either wraps a leaf (input data or trainable parameter) or the
+/// result of an op from ops.hpp. Calling `backward()` on a 1x1 result runs
+/// the reverse sweep and deposits gradients on every reachable leaf with
+/// `requires_grad() == true`.
+class Var {
+public:
+    Var() = default;
+
+    /// Leaf node. `requires_grad = true` marks a trainable parameter.
+    explicit Var(linalg::Matrix value, bool requires_grad = false);
+
+    /// Internal: wrap an existing node (used by ops).
+    explicit Var(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+    bool valid() const noexcept { return node_ != nullptr; }
+
+    const linalg::Matrix& value() const { return node_->value; }
+    /// Mutable access for optimizers (leaf parameters only).
+    linalg::Matrix& mutable_value() { return node_->value; }
+
+    const linalg::Matrix& grad() const { return node_->grad; }
+    bool requires_grad() const noexcept { return node_->requires_grad; }
+    void set_requires_grad(bool v) noexcept { node_->requires_grad = v; }
+
+    std::size_t rows() const { return node_->value.rows(); }
+    std::size_t cols() const { return node_->value.cols(); }
+
+    /// Zeroes this node's gradient buffer (parameters between steps).
+    void zero_grad();
+
+    /// Reverse-mode sweep from this node; requires a 1x1 (scalar) value.
+    /// Seeds d(out)/d(out) = 1 and visits the graph in reverse topological
+    /// order.
+    void backward() const;
+
+    std::shared_ptr<Node> node() const { return node_; }
+
+private:
+    std::shared_ptr<Node> node_;
+};
+
+}  // namespace nofis::autodiff

@@ -1,0 +1,111 @@
+#include "circuit/charge_pump.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nofis::circuit {
+
+namespace {
+
+/// Square-law drain current with channel-length modulation; clamps to the
+/// cut-off region (Vov <= 0 -> no current).
+double square_law(double beta, double vov, double lambda, double vds) {
+    if (vov <= 0.0) return 0.0;
+    return 0.5 * beta * vov * vov * (1.0 + lambda * std::max(vds, 0.0));
+}
+
+}  // namespace
+
+ChargePumpModel::BranchCurrents ChargePumpModel::branch_currents(
+    std::span<const double> x, double v_out) const {
+    if (x.size() != kNumVariables)
+        throw std::invalid_argument("ChargePumpModel: expects 16 variables");
+
+    const auto vt = [&](std::size_t k, double nominal) {
+        return nominal + p_.sigma_vt * x[k];
+    };
+    const auto beta = [&](std::size_t k, double nominal) {
+        return nominal * (1.0 + p_.sigma_beta * x[k]);
+    };
+
+    // Reference current generator (devices 12, 13): a shared bandgap-ish
+    // reference with per-branch routing mismatch.
+    const double i_ref_up = p_.i_ref * (1.0 + 0.5 * p_.sigma_beta * x[12]);
+    const double i_ref_dn = p_.i_ref * (1.0 + 0.5 * p_.sigma_beta * x[13]);
+
+    // --- UP branch (PMOS, devices 0-5) ----------------------------------------
+    // Diode-connected reference mirror (0) sets the shared gate; ref cascode
+    // (2) and bias device (5) shift the effective reference operating point.
+    const double beta0 = beta(0, p_.beta_p);
+    const double vsg0 = vt(0, p_.vt_p) + std::sqrt(2.0 * i_ref_up / beta0) +
+                        0.02 * p_.sigma_vt * x[2] +
+                        0.05 * p_.sigma_beta * x[5];
+    // Output mirror (1) behind output cascode (3) and the UP switch (4,
+    // driver 14 modulates its on-resistance).
+    const double beta1 = beta(1, p_.beta_p);
+    const double vov1 = vsg0 - vt(1, p_.vt_p);
+    const double r_sw_up =
+        p_.r_switch * (1.0 + 0.3 * p_.sigma_beta * (x[4] + x[14]));
+    const double vsd_casc_up =
+        std::sqrt(2.0 * i_ref_up / beta(3, p_.beta_p)) + 0.5 * p_.sigma_vt * x[3];
+    // Estimate branch current iteratively once for the switch drop (the
+    // outer bisection on v_out supplies the self-consistency).
+    double i_up = square_law(beta1, vov1, p_.lambda, p_.vdd - v_out);
+    const double vsd1 =
+        p_.vdd - (v_out + i_up * r_sw_up + vsd_casc_up);
+    i_up = square_law(beta1, vov1, p_.lambda, vsd1);
+
+    // --- DN branch (NMOS, devices 6-11) ---------------------------------------
+    const double beta6 = beta(6, p_.beta_n);
+    const double vgs6 = vt(6, p_.vt_n) + std::sqrt(2.0 * i_ref_dn / beta6) +
+                        0.02 * p_.sigma_vt * x[8] +
+                        0.05 * p_.sigma_beta * x[11];
+    const double beta7 = beta(7, p_.beta_n);
+    const double vov7 = vgs6 - vt(7, p_.vt_n);
+    const double r_sw_dn =
+        p_.r_switch * (1.0 + 0.3 * p_.sigma_beta * (x[10] + x[15]));
+    const double vds_casc_dn =
+        std::sqrt(2.0 * i_ref_dn / beta(9, p_.beta_n)) + 0.5 * p_.sigma_vt * x[9];
+    double i_dn = square_law(beta7, vov7, p_.lambda, v_out);
+    const double vds7 = v_out - (i_dn * r_sw_dn + vds_casc_dn);
+    i_dn = square_law(beta7, vov7, p_.lambda, vds7);
+
+    return {i_up, i_dn};
+}
+
+double ChargePumpModel::solve_vout(std::span<const double> x) const {
+    // KCL residual at the output node; monotone decreasing in v, so
+    // bisection is safe.
+    const double v_mid = 0.5 * p_.vdd;
+    const auto residual = [&](double v) {
+        const auto bc = branch_currents(x, v);
+        return bc.i_up - bc.i_dn - (v - v_mid) / p_.r_load;
+    };
+    double lo = 0.02;
+    double hi = p_.vdd - 0.02;
+    double f_lo = residual(lo);
+    double f_hi = residual(hi);
+    if (f_lo < 0.0) return lo;   // degenerate corner: UP branch dead
+    if (f_hi > 0.0) return hi;   // degenerate corner: DN branch dead
+    for (int it = 0; it < 60; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        const double fm = residual(mid);
+        if (fm > 0.0)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double ChargePumpModel::output_voltage(std::span<const double> x) const {
+    return solve_vout(x);
+}
+
+double ChargePumpModel::mismatch_amps(std::span<const double> x) const {
+    const double v = solve_vout(x);
+    const auto bc = branch_currents(x, v);
+    return std::abs(bc.i_up - bc.i_dn);
+}
+
+}  // namespace nofis::circuit

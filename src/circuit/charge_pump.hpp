@@ -1,0 +1,60 @@
+#pragma once
+
+#include <span>
+
+namespace nofis::circuit {
+
+/// Behavioural model of a PLL charge-pump output stage (after Gao et al.,
+/// ICCAD 2019 — the paper's Charge Pump reference [9]).
+///
+/// Topology: a cascoded PMOS UP branch (reference mirror device, output
+/// mirror device, cascode pair) and a cascoded NMOS DN branch mirror the
+/// same reference current onto the output node; series switch devices and
+/// bias devices complete the 16-transistor stage. Each device follows the
+/// square-law model with channel-length modulation
+///     I_D = ½ β (V_GS − V_T)² (1 + λ V_DS)
+/// and device k carries its own threshold/beta variation driven by the
+/// standard-normal x_k. The output voltage is found by a bisection solve of
+/// KCL at the output node (UP current = DN current + load current), and the
+/// reported metric is the UP/DN current mismatch at that operating point.
+class ChargePumpModel {
+public:
+    struct Params {
+        double vdd = 1.8;        ///< supply [V]
+        double i_ref = 250e-6;   ///< reference current [A]
+        double beta_n = 4e-3;    ///< NMOS transconductance factor [A/V²]
+        double beta_p = 2e-3;    ///< PMOS transconductance factor [A/V²]
+        double vt_n = 0.45;      ///< nominal NMOS threshold [V]
+        double vt_p = 0.45;      ///< nominal PMOS threshold magnitude [V]
+        double lambda = 0.08;    ///< channel-length modulation [1/V]
+        double sigma_vt = 0.055; ///< threshold variation per unit x [V]
+        double sigma_beta = 0.11;///< relative beta variation per unit x
+        double r_load = 200e3;   ///< output load to VDD/2 [Ω]
+        double r_switch = 400.0; ///< nominal switch on-resistance [Ω]
+    };
+
+    ChargePumpModel() : p_() {}
+    explicit ChargePumpModel(Params p) : p_(p) {}
+
+    /// x.size() == 16 (one standard-normal per device).
+    /// Returns |I_up − I_dn| at the solved output operating point [A].
+    double mismatch_amps(std::span<const double> x) const;
+
+    /// The solved DC output voltage (diagnostics / tests).
+    double output_voltage(std::span<const double> x) const;
+
+    static constexpr std::size_t kNumVariables = 16;
+
+private:
+    struct BranchCurrents {
+        double i_up;
+        double i_dn;
+    };
+    BranchCurrents branch_currents(std::span<const double> x,
+                                   double v_out) const;
+    double solve_vout(std::span<const double> x) const;
+
+    Params p_;
+};
+
+}  // namespace nofis::circuit

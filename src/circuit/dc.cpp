@@ -1,0 +1,30 @@
+#include "circuit/dc.hpp"
+
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace nofis::circuit {
+
+DcSolution::DcSolution(const Netlist& netlist) : nodes_(netlist.num_nodes()) {
+    const MnaSystem sys(netlist);
+    x_ = linalg::solve(sys.g_matrix(), sys.rhs());
+}
+
+double DcSolution::voltage(NodeId n) const {
+    if (n == 0) return 0.0;
+    if (n > nodes_) throw std::out_of_range("DcSolution::voltage");
+    return x_[n - 1];
+}
+
+double DcSolution::source_current(std::size_t k) const {
+    const std::size_t idx = nodes_ + k;
+    if (idx >= x_.size()) throw std::out_of_range("DcSolution::source_current");
+    return x_[idx];
+}
+
+double dc_voltage(const Netlist& netlist, NodeId node) {
+    return DcSolution(netlist).voltage(node);
+}
+
+}  // namespace nofis::circuit

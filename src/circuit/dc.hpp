@@ -1,0 +1,26 @@
+#pragma once
+
+#include "circuit/mna.hpp"
+
+namespace nofis::circuit {
+
+/// DC operating point of a linear netlist: solves G x = b.
+class DcSolution {
+public:
+    explicit DcSolution(const Netlist& netlist);
+
+    /// Voltage at node `n` (0 = ground = 0 V).
+    double voltage(NodeId n) const;
+
+    /// Branch current through voltage source `k` (positive into `pos`).
+    double source_current(std::size_t k) const;
+
+private:
+    std::size_t nodes_;
+    std::vector<double> x_;
+};
+
+/// One-shot convenience: node voltage of a fresh DC solve.
+double dc_voltage(const Netlist& netlist, NodeId node);
+
+}  // namespace nofis::circuit

@@ -1,0 +1,65 @@
+#include "circuit/mna.hpp"
+
+namespace nofis::circuit {
+
+namespace {
+
+/// Adds `v` at (r, c) when both indices refer to non-ground unknowns.
+/// MNA convention: ground rows/columns are dropped; node k maps to index
+/// k - 1.
+void stamp(linalg::Matrix& m, std::size_t r_node, std::size_t c_node,
+           double v) {
+    if (r_node == 0 || c_node == 0) return;
+    m(r_node - 1, c_node - 1) += v;
+}
+
+}  // namespace
+
+MnaSystem::MnaSystem(const Netlist& netlist)
+    : nodes_(netlist.num_nodes()),
+      dim_(netlist.num_nodes() + netlist.voltage_sources().size()),
+      g_(dim_, dim_),
+      c_(dim_, dim_),
+      rhs_(dim_, 0.0) {
+    for (const auto& r : netlist.resistors()) {
+        const double g = 1.0 / r.ohms;
+        stamp(g_, r.n1, r.n1, g);
+        stamp(g_, r.n2, r.n2, g);
+        stamp(g_, r.n1, r.n2, -g);
+        stamp(g_, r.n2, r.n1, -g);
+    }
+    for (const auto& c : netlist.capacitors()) {
+        stamp(c_, c.n1, c.n1, c.farads);
+        stamp(c_, c.n2, c.n2, c.farads);
+        stamp(c_, c.n1, c.n2, -c.farads);
+        stamp(c_, c.n2, c.n1, -c.farads);
+    }
+    for (const auto& v : netlist.vccs()) {
+        // Current gm (v_cp - v_cn) leaves out_p, enters out_n.
+        stamp(g_, v.out_p, v.ctrl_p, v.gm);
+        stamp(g_, v.out_p, v.ctrl_n, -v.gm);
+        stamp(g_, v.out_n, v.ctrl_p, -v.gm);
+        stamp(g_, v.out_n, v.ctrl_n, v.gm);
+    }
+    for (const auto& i : netlist.current_sources()) {
+        // Current flows n1 -> n2 through the source: leaves n1, enters n2.
+        if (i.n1 != 0) rhs_[i.n1 - 1] -= i.amps;
+        if (i.n2 != 0) rhs_[i.n2 - 1] += i.amps;
+    }
+    const auto vsrcs = netlist.voltage_sources();
+    for (std::size_t k = 0; k < vsrcs.size(); ++k) {
+        const auto& v = vsrcs[k];
+        const std::size_t br = branch_index(k);
+        if (v.pos != 0) {
+            g_(v.pos - 1, br) += 1.0;
+            g_(br, v.pos - 1) += 1.0;
+        }
+        if (v.neg != 0) {
+            g_(v.neg - 1, br) -= 1.0;
+            g_(br, v.neg - 1) -= 1.0;
+        }
+        rhs_[br] = v.volts;
+    }
+}
+
+}  // namespace nofis::circuit

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <complex>
+
+#include "circuit/netlist.hpp"
+#include "linalg/matrix.hpp"
+
+namespace nofis::circuit {
+
+/// Modified nodal analysis assembly: stamps the netlist into
+///   (G + jωC) x = b,
+/// where x = [node voltages 1..N | voltage-source branch currents].
+///
+/// `stamp_g` produces the real conductance matrix (R, VCCS, V-source rows);
+/// `stamp_c` the susceptance matrix (capacitors); `stamp_rhs` the excitation
+/// vector (current sources + voltage-source values).
+class MnaSystem {
+public:
+    explicit MnaSystem(const Netlist& netlist);
+
+    std::size_t dim() const noexcept { return dim_; }
+    std::size_t num_nodes() const noexcept { return nodes_; }
+
+    const linalg::Matrix& g_matrix() const noexcept { return g_; }
+    const linalg::Matrix& c_matrix() const noexcept { return c_; }
+    std::span<const double> rhs() const noexcept { return rhs_; }
+
+    /// Index of a voltage source's branch-current unknown.
+    std::size_t branch_index(std::size_t vsource) const {
+        return nodes_ + vsource;
+    }
+
+private:
+    std::size_t nodes_ = 0;
+    std::size_t dim_ = 0;
+    linalg::Matrix g_;
+    linalg::Matrix c_;
+    std::vector<double> rhs_;
+};
+
+}  // namespace nofis::circuit

@@ -1,0 +1,51 @@
+#include "circuit/netlist.hpp"
+
+#include <stdexcept>
+
+namespace nofis::circuit {
+
+void Netlist::check_node(NodeId n, const char* what) const {
+    if (n > num_nodes_)
+        throw std::invalid_argument(std::string("Netlist: node id out of "
+                                                "range for ") +
+                                    what);
+}
+
+void Netlist::add(Resistor r) {
+    check_node(r.n1, "resistor");
+    check_node(r.n2, "resistor");
+    if (!(r.ohms > 0.0))
+        throw std::invalid_argument("Netlist: resistance must be positive");
+    resistors_.push_back(r);
+}
+
+void Netlist::add(Capacitor c) {
+    check_node(c.n1, "capacitor");
+    check_node(c.n2, "capacitor");
+    if (!(c.farads > 0.0))
+        throw std::invalid_argument("Netlist: capacitance must be positive");
+    capacitors_.push_back(c);
+}
+
+void Netlist::add(CurrentSource i) {
+    check_node(i.n1, "current source");
+    check_node(i.n2, "current source");
+    isources_.push_back(i);
+}
+
+std::size_t Netlist::add(VoltageSource v) {
+    check_node(v.pos, "voltage source");
+    check_node(v.neg, "voltage source");
+    vsources_.push_back(v);
+    return vsources_.size() - 1;
+}
+
+void Netlist::add(Vccs g) {
+    check_node(g.out_p, "vccs");
+    check_node(g.out_n, "vccs");
+    check_node(g.ctrl_p, "vccs");
+    check_node(g.ctrl_n, "vccs");
+    vccs_.push_back(g);
+}
+
+}  // namespace nofis::circuit

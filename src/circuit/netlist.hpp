@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nofis::circuit {
+
+/// Node index; 0 is ground. Nodes are dense: a netlist with max node id N
+/// has MNA unknowns v_1..v_N (plus one branch current per voltage source).
+using NodeId = std::size_t;
+
+/// Linear(ised) circuit elements supported by the MNA engine. This covers
+/// everything a small-signal analog macromodel needs: R, C, independent
+/// sources, and voltage-controlled current sources (transistor gm / go).
+struct Resistor {
+    NodeId n1, n2;
+    double ohms;
+};
+
+struct Capacitor {
+    NodeId n1, n2;
+    double farads;
+};
+
+/// DC/AC current source driving current from n1 to n2 (into n2).
+struct CurrentSource {
+    NodeId n1, n2;
+    double amps;
+};
+
+/// Ideal voltage source (adds one branch-current unknown).
+struct VoltageSource {
+    NodeId pos, neg;
+    double volts;
+};
+
+/// VCCS: current gm·(v_cp − v_cn) flows from out_p to out_n.
+struct Vccs {
+    NodeId out_p, out_n;
+    NodeId ctrl_p, ctrl_n;
+    double gm;
+};
+
+/// A flat element-list netlist. Intentionally minimal: build programmatic
+/// macromodels (the Opamp test case), no parser needed.
+class Netlist {
+public:
+    /// Declares `n` non-ground nodes (ids 1..n are then valid).
+    explicit Netlist(std::size_t num_nodes) : num_nodes_(num_nodes) {}
+
+    std::size_t num_nodes() const noexcept { return num_nodes_; }
+
+    void add(Resistor r);
+    void add(Capacitor c);
+    void add(CurrentSource i);
+    /// Returns the source's index (used to select the AC excitation).
+    std::size_t add(VoltageSource v);
+    void add(Vccs g);
+
+    std::span<const Resistor> resistors() const noexcept { return resistors_; }
+    std::span<const Capacitor> capacitors() const noexcept {
+        return capacitors_;
+    }
+    std::span<const CurrentSource> current_sources() const noexcept {
+        return isources_;
+    }
+    std::span<const VoltageSource> voltage_sources() const noexcept {
+        return vsources_;
+    }
+    std::span<const Vccs> vccs() const noexcept { return vccs_; }
+
+    /// Mutable access for parameter sweeps (process variation re-stamps).
+    Vccs& vccs_at(std::size_t i) { return vccs_.at(i); }
+    Resistor& resistor_at(std::size_t i) { return resistors_.at(i); }
+
+private:
+    void check_node(NodeId n, const char* what) const;
+
+    std::size_t num_nodes_;
+    std::vector<Resistor> resistors_;
+    std::vector<Capacitor> capacitors_;
+    std::vector<CurrentSource> isources_;
+    std::vector<VoltageSource> vsources_;
+    std::vector<Vccs> vccs_;
+};
+
+}  // namespace nofis::circuit

@@ -1,0 +1,178 @@
+#include "circuit/nonlinear.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/mna.hpp"
+#include "linalg/lu.hpp"
+
+namespace nofis::circuit {
+
+namespace {
+/// Tiny conductance from every device terminal to ground: keeps the
+/// Jacobian non-singular for floating gates and cut-off devices (the
+/// standard SPICE gmin device).
+constexpr double kGmin = 1e-12;
+}  // namespace
+
+NonlinearCircuit::NonlinearCircuit(Netlist linear_part)
+    : linear_(std::move(linear_part)) {}
+
+void NonlinearCircuit::add(Mosfet m) { mosfets_.push_back(m); }
+void NonlinearCircuit::add(Diode d) { diodes_.push_back(d); }
+
+MosfetOp NonlinearCircuit::evaluate(const Mosfet& m, double vd, double vg,
+                                    double vs) {
+    // PMOS handled by operating in sign-flipped voltage space; the drain
+    // current then flips sign back.
+    const double s = m.is_pmos ? -1.0 : 1.0;
+    double ud = s * vd;
+    double ug = s * vg;
+    double us = s * vs;
+    // The square-law device is symmetric: if u_d < u_s the roles swap and
+    // the (NMOS-convention) current is negative.
+    double sign_swap = 1.0;
+    if (ud < us) {
+        std::swap(ud, us);
+        sign_swap = -1.0;
+    }
+    const double vgs = ug - us;
+    const double vds = ud - us;
+    const double vov = vgs - m.vt;
+
+    MosfetOp op;
+    op.vgs = vgs;
+    op.vds = vds;
+    double id;
+    if (vov <= 0.0) {
+        id = 0.0;
+        op.region = MosfetOp::Region::kCutoff;
+    } else if (vds < vov) {
+        id = m.beta * (vov * vds - 0.5 * vds * vds) * (1.0 + m.lambda * vds);
+        op.region = MosfetOp::Region::kTriode;
+    } else {
+        id = 0.5 * m.beta * vov * vov * (1.0 + m.lambda * vds);
+        op.region = MosfetOp::Region::kSaturation;
+    }
+    // Current into the *actual* drain terminal.
+    op.id = s * sign_swap * id;
+    return op;
+}
+
+NonlinearCircuit::Companion NonlinearCircuit::linearise(const Mosfet& m,
+                                                        double vd, double vg,
+                                                        double vs) {
+    // Analytic partials are error-prone across the PMOS/swap sign maze;
+    // the device equation is smooth and cheap, so a central difference at
+    // machine-friendly step gives Jacobian entries accurate to ~1e-9 —
+    // plenty for Newton, whose convergence test is on the residual.
+    const double h = 1e-7;
+    const auto id = [&](double d, double g, double s) {
+        return evaluate(m, d, g, s).id;
+    };
+    Companion c{};
+    c.gds = (id(vd + h, vg, vs) - id(vd - h, vg, vs)) / (2.0 * h);
+    c.gm = (id(vd, vg + h, vs) - id(vd, vg - h, vs)) / (2.0 * h);
+    c.i_eq = id(vd, vg, vs);
+    return c;
+}
+
+double NonlinearCircuit::voltage(std::span<const double> solution,
+                                 NodeId node) const {
+    if (node == 0) return 0.0;
+    if (node > linear_.num_nodes())
+        throw std::out_of_range("NonlinearCircuit::voltage");
+    return solution[node - 1];
+}
+
+MosfetOp NonlinearCircuit::mosfet_op(std::span<const double> solution,
+                                     std::size_t index) const {
+    const Mosfet& m = mosfets_.at(index);
+    return evaluate(m, voltage(solution, m.drain), voltage(solution, m.gate),
+                    voltage(solution, m.source));
+}
+
+std::vector<double> NonlinearCircuit::solve_dc(
+    const SolveOptions& opts, std::span<const double> initial) const {
+    const MnaSystem base(linear_);
+    const std::size_t n = base.dim();
+
+    std::vector<double> x(n, 0.0);
+    if (!initial.empty()) {
+        if (initial.size() > n)
+            throw std::invalid_argument("NonlinearCircuit: bad initial size");
+        std::copy(initial.begin(), initial.end(), x.begin());
+    }
+
+    const auto node_v = [&](NodeId node) {
+        return node == 0 ? 0.0 : x[node - 1];
+    };
+    // Adds ∂I/∂v at (row=node_r, col=node_c) when both are non-ground.
+    const auto stamp_g = [](linalg::Matrix& g, NodeId r, NodeId c,
+                            double v) {
+        if (r != 0 && c != 0) g(r - 1, c - 1) += v;
+    };
+
+    for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+        linalg::Matrix g = base.g_matrix();
+        std::vector<double> b(base.rhs().begin(), base.rhs().end());
+
+        for (const auto& m : mosfets_) {
+            const double vd = node_v(m.drain);
+            const double vg = node_v(m.gate);
+            const double vs = node_v(m.source);
+            const Companion c = linearise(m, vd, vg, vs);
+            // I_D(v) ≈ i_eq + gds (vd - vd0) + gm (vg - vg0)
+            //               - (gds + gm)(vs - vs0), flowing drain -> source.
+            const double dIdd = c.gds;
+            const double dIdg = c.gm;
+            const double dIds = -(c.gds + c.gm);
+            const double i0 =
+                c.i_eq - dIdd * vd - dIdg * vg - dIds * vs;
+            stamp_g(g, m.drain, m.drain, dIdd);
+            stamp_g(g, m.drain, m.gate, dIdg);
+            stamp_g(g, m.drain, m.source, dIds);
+            stamp_g(g, m.source, m.drain, -dIdd);
+            stamp_g(g, m.source, m.gate, -dIdg);
+            stamp_g(g, m.source, m.source, -dIds);
+            if (m.drain != 0) b[m.drain - 1] -= i0;
+            if (m.source != 0) b[m.source - 1] += i0;
+            // gmin stabilisers.
+            stamp_g(g, m.drain, m.drain, kGmin);
+            stamp_g(g, m.gate, m.gate, kGmin);
+            stamp_g(g, m.source, m.source, kGmin);
+        }
+        for (const auto& d : diodes_) {
+            const double v = node_v(d.anode) - node_v(d.cathode);
+            const double arg = std::min(v / d.v_thermal, 40.0);
+            const double ex = std::exp(arg);
+            const double gd =
+                std::max(d.i_sat / d.v_thermal * ex, kGmin);
+            const double id = d.i_sat * (ex - 1.0);
+            const double i0 = id - gd * v;
+            stamp_g(g, d.anode, d.anode, gd);
+            stamp_g(g, d.cathode, d.cathode, gd);
+            stamp_g(g, d.anode, d.cathode, -gd);
+            stamp_g(g, d.cathode, d.anode, -gd);
+            if (d.anode != 0) b[d.anode - 1] -= i0;
+            if (d.cathode != 0) b[d.cathode - 1] += i0;
+        }
+
+        const auto x_new = linalg::LuDecomposition(g).solve(b);
+        double max_step = 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+            double step = x_new[k] - x[k];
+            // Damp only the node voltages; branch currents may move freely.
+            if (k < linear_.num_nodes())
+                step = std::clamp(step, -opts.damping_limit,
+                                  opts.damping_limit);
+            x[k] += step;
+            max_step = std::max(max_step, std::abs(step));
+        }
+        if (max_step < opts.tolerance) return x;
+    }
+    throw std::runtime_error("NonlinearCircuit: Newton failed to converge");
+}
+
+}  // namespace nofis::circuit

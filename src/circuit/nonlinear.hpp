@@ -1,0 +1,93 @@
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "linalg/matrix.hpp"
+
+namespace nofis::circuit {
+
+/// Level-1 (square-law) MOSFET with channel-length modulation.
+/// NMOS: I_D flows drain->source when V_GS > VT. PMOS is handled by the
+/// usual sign flips (pass `is_pmos = true` and a positive `vt` magnitude).
+struct Mosfet {
+    NodeId drain;
+    NodeId gate;
+    NodeId source;
+    double beta;    ///< transconductance factor [A/V²]
+    double vt;      ///< threshold magnitude [V]
+    double lambda;  ///< channel-length modulation [1/V]
+    bool is_pmos = false;
+};
+
+/// Shockley diode, linearised per Newton iteration.
+struct Diode {
+    NodeId anode;
+    NodeId cathode;
+    double i_sat = 1e-14;  ///< saturation current [A]
+    double v_thermal = 0.02585;
+};
+
+/// Operating-point view of one MOSFET (diagnostics / tests).
+struct MosfetOp {
+    double id;   ///< drain current [A]
+    double vgs;  ///< gate-source voltage (sign-adjusted for PMOS)
+    double vds;
+    enum class Region { kCutoff, kTriode, kSaturation } region;
+};
+
+/// Nonlinear DC solver: a linear Netlist (R, I, V sources, VCCS) plus
+/// nonlinear devices, solved with damped Newton–Raphson on the MNA
+/// equations. Each iteration stamps the devices' small-signal companions
+/// (gm, gds, I_eq) into a copy of the linear system and performs one LU
+/// solve; voltage steps are clamped for robustness (source stepping is
+/// unnecessary at these circuit sizes).
+class NonlinearCircuit {
+public:
+    struct SolveOptions {
+        std::size_t max_iterations = 100;
+        double tolerance = 1e-9;     ///< max |Δv| convergence test [V]
+        double damping_limit = 0.5;  ///< max per-iteration node update [V]
+    };
+
+    explicit NonlinearCircuit(Netlist linear_part);
+
+    void add(Mosfet m);
+    void add(Diode d);
+
+    std::size_t num_mosfets() const noexcept { return mosfets_.size(); }
+
+    /// Solves the DC operating point. `initial` (optional) seeds the node
+    /// voltages; defaults to all-zero. Throws std::runtime_error when
+    /// Newton fails to converge.
+    std::vector<double> solve_dc(const SolveOptions& opts,
+                                 std::span<const double> initial = {}) const;
+    std::vector<double> solve_dc() const { return solve_dc(SolveOptions()); }
+
+    /// Node voltage from a solution vector returned by solve_dc.
+    double voltage(std::span<const double> solution, NodeId node) const;
+
+    /// Operating point of MOSFET `index` at a solved state.
+    MosfetOp mosfet_op(std::span<const double> solution,
+                       std::size_t index) const;
+
+    const Netlist& linear_part() const noexcept { return linear_; }
+    Netlist& linear_part() noexcept { return linear_; }
+    Mosfet& mosfet_at(std::size_t i) { return mosfets_.at(i); }
+
+private:
+    struct Companion {
+        double gm;
+        double gds;
+        double i_eq;  ///< equivalent current source drain->source
+    };
+    static MosfetOp evaluate(const Mosfet& m, double vd, double vg, double vs);
+    static Companion linearise(const Mosfet& m, double vd, double vg,
+                               double vs);
+
+    Netlist linear_;
+    std::vector<Mosfet> mosfets_;
+    std::vector<Diode> diodes_;
+};
+
+}  // namespace nofis::circuit

@@ -1,0 +1,52 @@
+#include "circuit/opamp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/ac.hpp"
+
+namespace nofis::circuit {
+
+Netlist OpampModel::build(std::span<const double> x) const {
+    if (x.size() != kNumVariables)
+        throw std::invalid_argument("OpampModel: expects 5 variables");
+
+    const double gm1 = p_.gm0 * std::exp(p_.alpha * x[0]);
+    const double gm2 = p_.gm0 * std::exp(p_.alpha * x[1]);
+    const double gm3 = p_.gm0 * std::exp(p_.alpha * x[2]);
+    // Wider devices -> larger output conductance -> smaller load resistance.
+    const double r1 = p_.r0 * std::exp(-p_.alpha * x[3]);
+    const double r2 = p_.r0 * std::exp(-p_.alpha * x[4]);
+    const double r3 = p_.r0;
+    const double gmf =
+        p_.gmf_ratio * p_.gm0 * std::exp(0.5 * p_.alpha * (x[0] + x[3]));
+
+    // Nodes: 1 input, 2 stage-1 out, 3 stage-2 out, 4 output.
+    Netlist net(4);
+    net.add(VoltageSource{kInputNode, 0, 1.0});
+
+    net.add(Vccs{2, 0, kInputNode, 0, gm1});
+    net.add(Resistor{2, 0, r1});
+    net.add(Capacitor{2, 0, p_.c_stage});
+
+    net.add(Vccs{3, 0, 2, 0, gm2});
+    net.add(Resistor{3, 0, r2});
+    net.add(Capacitor{3, 0, p_.c_stage});
+
+    net.add(Vccs{kOutputNode, 0, 3, 0, gm3});
+    net.add(Resistor{kOutputNode, 0, r3});
+    net.add(Capacitor{kOutputNode, 0, p_.c_load});
+
+    // Miller compensation across stages 2-3 and the feedforward path that
+    // makes the gain depend on the variables non-multiplicatively.
+    net.add(Capacitor{2, kOutputNode, p_.c_miller});
+    net.add(Vccs{kOutputNode, 0, 2, 0, gmf});
+    return net;
+}
+
+double OpampModel::gain_db(std::span<const double> x) const {
+    const Netlist net = build(x);
+    return AcSolution(net, p_.freq_hz).gain_db(kOutputNode, kInputNode);
+}
+
+}  // namespace nofis::circuit

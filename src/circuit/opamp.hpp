@@ -1,0 +1,50 @@
+#pragma once
+
+#include <span>
+
+#include "circuit/netlist.hpp"
+
+namespace nofis::circuit {
+
+/// Small-signal macromodel of a three-stage amplifier (after Yan et al.,
+/// ISSCC 2012 — the paper's Opamp reference [22]): three gm stages with
+/// resistive/capacitive loads, Miller compensation, and a feedforward path,
+/// driving a 1 nF load.
+///
+/// Process variation enters through 5 standard-normal variables x:
+/// x0..x2 modulate the stage transconductances (width -> gm, lognormal),
+/// x3..x4 modulate the first two stages' output conductances. Every gain
+/// query assembles the perturbed netlist and runs a full MNA AC solve — the
+/// "expensive simulation" g() of the paper, reproduced for real.
+class OpampModel {
+public:
+    /// Nominal element values.
+    struct Params {
+        double gm0 = 2e-4;        ///< nominal stage transconductance [S]
+        double r0 = 113.6e3;      ///< nominal stage load [Ω]
+        double alpha = 0.115;     ///< lognormal variation strength
+        double c_stage = 1e-12;   ///< stage parasitic [F]
+        double c_load = 1e-9;     ///< output load [F]
+        double c_miller = 2e-12;  ///< compensation [F]
+        double gmf_ratio = 0.1;   ///< feedforward gm / gm0
+        double freq_hz = 10.0;    ///< gain measurement frequency
+    };
+
+    OpampModel() : p_() {}
+    explicit OpampModel(Params p) : p_(p) {}
+
+    /// Builds the perturbed small-signal netlist (x.size() == 5).
+    Netlist build(std::span<const double> x) const;
+
+    /// Closed-loop of the measurement: |v(out)/v(in)| in dB from AC MNA.
+    double gain_db(std::span<const double> x) const;
+
+    static constexpr std::size_t kNumVariables = 5;
+    static constexpr NodeId kInputNode = 1;
+    static constexpr NodeId kOutputNode = 4;
+
+private:
+    Params p_;
+};
+
+}  // namespace nofis::circuit

@@ -1,0 +1,124 @@
+#include "circuit/sram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace nofis::circuit {
+
+double SramCellModel::half_cell_output(double vin, double d_pd, double d_pu,
+                                       double d_ax) const {
+    // Nodes: 1 = forced input, 2 = storage/output node, 3 = VDD rail
+    // (also serves as the precharged bitline and the asserted wordline).
+    Netlist net(3);
+    net.add(VoltageSource{1, 0, vin});
+    net.add(VoltageSource{3, 0, p_.vdd});
+
+    NonlinearCircuit circuit(std::move(net));
+    // Pull-down NMOS: drain = storage, gate = input, source = ground.
+    circuit.add(Mosfet{2, 1, 0, p_.beta_n, p_.vt_n + d_pd, p_.lambda, false});
+    // Pull-up PMOS: drain = storage, gate = input, source = VDD.
+    circuit.add(Mosfet{2, 1, 3, p_.beta_p, p_.vt_p + d_pu, p_.lambda, true});
+    // Access NMOS: bitline (VDD) to storage, gate = wordline (VDD).
+    circuit.add(Mosfet{3, 3, 2, p_.beta_ax, p_.vt_n + d_ax, p_.lambda, false});
+
+    // Warm start at mid-rail for reliable Newton convergence across the
+    // VTC's high-gain transition.
+    std::vector<double> guess = {vin, 0.5 * p_.vdd, p_.vdd};
+    const auto solution = circuit.solve_dc({}, guess);
+    return circuit.voltage(solution, 2);
+}
+
+std::vector<double> SramCellModel::read_vtc(std::span<const double> vin_grid,
+                                            double d_pd, double d_pu,
+                                            double d_ax) const {
+    std::vector<double> out;
+    out.reserve(vin_grid.size());
+    for (double v : vin_grid)
+        out.push_back(half_cell_output(v, d_pd, d_pu, d_ax));
+    return out;
+}
+
+double SramCellModel::static_noise_margin(std::span<const double> x) const {
+    if (x.size() != kNumVariables)
+        throw std::invalid_argument("SramCellModel: expects 6 variables");
+    const double s = p_.sigma_vt;
+
+    // Voltage grid for both half-cell VTCs.
+    const std::size_t n = p_.vtc_points;
+    std::vector<double> grid(n);
+    for (std::size_t i = 0; i < n; ++i)
+        grid[i] = p_.vdd * static_cast<double>(i) /
+                  static_cast<double>(n - 1);
+    // Curve A: v2 = f_L(v1); curve B: v1 = f_R(v2).
+    const auto f_left = read_vtc(grid, s * x[0], s * x[1], s * x[2]);
+    const auto f_right = read_vtc(grid, s * x[3], s * x[4], s * x[5]);
+
+    // Read-VTCs are monotone decreasing, so curve B (x = f_R(y)) inverts to
+    // a single-valued, monotone-decreasing y = f_R⁻¹(x). A square of side s
+    // fits in the lobe where curve A runs above curve B iff
+    //     ∃x : f_L(x) − f_R⁻¹(x + s) ≥ s
+    // (bottom-right corner on B, top-left corner on A); symmetrically for
+    // the other lobe. Each lobe's SNM is found by bisection on s (the
+    // fit predicate is monotone in s); the cell SNM is the smaller lobe.
+    // y = f_R⁻¹(x) from the descending samples (x = f_right[j],
+    // y = grid[j]); NaN outside curve B's x-range so that fit comparisons
+    // against out-of-domain points correctly fail (squares must lie inside
+    // the butterfly eye, not in invented clamp regions).
+    const auto f_right_inv = [&](double at) {
+        if (at > f_right.front() || at < f_right.back())
+            return std::numeric_limits<double>::quiet_NaN();
+        std::size_t lo = 0;
+        std::size_t hi = f_right.size() - 1;
+        while (hi - lo > 1) {
+            const std::size_t mid = (lo + hi) / 2;
+            (f_right[mid] > at ? lo : hi) = mid;
+        }
+        const double span = f_right[hi] - f_right[lo];
+        const double t = span == 0.0 ? 0.0 : (at - f_right[lo]) / span;
+        return grid[lo] + t * (grid[hi] - grid[lo]);
+    };
+    // y = f_L(x) by linear interpolation on the uniform input grid.
+    const auto f_left_at = [&](double at) {
+        const double pos = std::clamp(at, 0.0, p_.vdd) / p_.vdd *
+                           static_cast<double>(n - 1);
+        const auto lo = std::min<std::size_t>(
+            static_cast<std::size_t>(pos), n - 2);
+        const double t = pos - static_cast<double>(lo);
+        return f_left[lo] + t * (f_left[lo + 1] - f_left[lo]);
+    };
+
+    const auto fits = [&](double s, bool lobe_a_above) {
+        const std::size_t scan = 2 * n;
+        for (std::size_t i = 0; i <= scan; ++i) {
+            const double x0 = p_.vdd * static_cast<double>(i) /
+                              static_cast<double>(scan);
+            if (lobe_a_above) {
+                // Both curves decrease, so over the square's x-extent
+                // [x0, x0+s] the upper boundary (curve A) is lowest at the
+                // right edge and the lower boundary (curve B) highest at
+                // the left edge: fit ⟺ f_L(x0+s) − f_R⁻¹(x0) ≥ s.
+                if (f_left_at(x0 + s) - f_right_inv(x0) >= s) return true;
+            } else {
+                if (f_right_inv(x0 + s) - f_left_at(x0) >= s) return true;
+            }
+        }
+        return false;
+    };
+
+    const auto lobe_snm = [&](bool lobe_a_above) {
+        double lo = 0.0;
+        double hi = p_.vdd;
+        if (!fits(1e-6, lobe_a_above)) return 0.0;
+        for (int it = 0; it < 30; ++it) {
+            const double mid = 0.5 * (lo + hi);
+            (fits(mid, lobe_a_above) ? lo : hi) = mid;
+        }
+        return lo;
+    };
+
+    return std::min(lobe_snm(true), lobe_snm(false));
+}
+
+}  // namespace nofis::circuit

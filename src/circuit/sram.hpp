@@ -1,0 +1,59 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "circuit/nonlinear.hpp"
+
+namespace nofis::circuit {
+
+/// 6T SRAM cell read-stability model, computed from real nonlinear DC
+/// solves (Newton on the level-1 MOSFET models) — the application domain
+/// the paper's introduction motivates (SRAM cells must fail with
+/// P < 1e-6 [2, 8, 10, 12]).
+///
+/// The static noise margin (SNM) is extracted with Seevinck's rotated
+/// butterfly-curve method: each half-cell's voltage transfer curve is
+/// traced in the read configuration (access transistor on, bitline
+/// precharged to VDD), the two curves are rotated by 45°, and the SNM is
+/// the side of the largest square that fits in the smaller butterfly lobe.
+///
+/// Threshold-voltage variation of the six transistors (pull-down, pull-up,
+/// access; left and right) enters through the 6 standard-normal variables.
+class SramCellModel {
+public:
+    struct Params {
+        double vdd = 1.0;
+        double beta_n = 200e-6;  ///< pull-down strength [A/V²]
+        double beta_p = 80e-6;   ///< pull-up strength [A/V²]
+        double beta_ax = 100e-6; ///< access strength [A/V²]
+        double vt_n = 0.30;
+        double vt_p = 0.30;
+        double lambda = 0.05;
+        double sigma_vt = 0.05;  ///< VT variation per unit x [V]
+        std::size_t vtc_points = 33;
+    };
+
+    SramCellModel() : SramCellModel(Params()) {}
+    explicit SramCellModel(Params p) : p_(p) {}
+
+    /// Read static noise margin [V] for variation vector x (size 6:
+    /// {PD_L, PU_L, AX_L, PD_R, PU_R, AX_R} threshold shifts).
+    double static_noise_margin(std::span<const double> x) const;
+
+    /// One half-cell VTC in the read configuration: output voltage versus
+    /// the forced input voltage for the inverter whose device VT shifts
+    /// are (d_pd, d_pu, d_ax). Exposed for tests and plotting.
+    std::vector<double> read_vtc(std::span<const double> vin_grid,
+                                 double d_pd, double d_pu, double d_ax) const;
+
+    static constexpr std::size_t kNumVariables = 6;
+
+private:
+    double half_cell_output(double vin, double d_pd, double d_pu,
+                            double d_ax) const;
+
+    Params p_;
+};
+
+}  // namespace nofis::circuit

@@ -1,0 +1,75 @@
+#include "circuit/transient.hpp"
+
+#include <stdexcept>
+
+namespace nofis::circuit {
+
+TransientAnalysis::TransientAnalysis(const Netlist& netlist, Config cfg)
+    : netlist_(&netlist),
+      cfg_(cfg),
+      waveforms_(netlist.voltage_sources().size()) {
+    if (!(cfg_.dt > 0.0) || !(cfg_.t_stop > 0.0) || cfg_.dt > cfg_.t_stop)
+        throw std::invalid_argument("TransientAnalysis: bad time grid");
+}
+
+void TransientAnalysis::set_source_waveform(std::size_t vsource,
+                                            std::function<double(double)> w) {
+    waveforms_.at(vsource) = std::move(w);
+}
+
+TransientAnalysis::Result TransientAnalysis::run() const {
+    const MnaSystem sys(*netlist_);
+    const std::size_t n = sys.dim();
+    const double inv_h = 1.0 / cfg_.dt;
+
+    // Companion matrix A = G + C/h, factored once.
+    linalg::Matrix a = sys.g_matrix();
+    a += sys.c_matrix() * inv_h;
+    const linalg::LuDecomposition lu(a);
+
+    // Initial state.
+    std::vector<double> x(n, 0.0);
+    if (cfg_.start_from_dc) {
+        // DC with waveforms evaluated at t = 0.
+        linalg::Matrix g0 = sys.g_matrix();
+        std::vector<double> b0(sys.rhs().begin(), sys.rhs().end());
+        const auto vsrcs = netlist_->voltage_sources();
+        for (std::size_t k = 0; k < vsrcs.size(); ++k)
+            if (waveforms_[k])
+                b0[sys.branch_index(k)] = vsrcs[k].volts * waveforms_[k](0.0);
+        x = linalg::LuDecomposition(g0).solve(b0);
+    }
+
+    const auto steps =
+        static_cast<std::size_t>(cfg_.t_stop / cfg_.dt + 0.5);
+    Result result;
+    result.time.reserve(steps + 1);
+    result.state.reserve(steps + 1);
+    result.time.push_back(0.0);
+    result.state.push_back(x);
+
+    const auto vsrcs = netlist_->voltage_sources();
+    std::vector<double> rhs(n);
+    for (std::size_t k = 1; k <= steps; ++k) {
+        const double t = static_cast<double>(k) * cfg_.dt;
+        // b(t) + (C/h) x_k.
+        std::copy(sys.rhs().begin(), sys.rhs().end(), rhs.begin());
+        for (std::size_t s = 0; s < vsrcs.size(); ++s)
+            if (waveforms_[s])
+                rhs[sys.branch_index(s)] = vsrcs[s].volts * waveforms_[s](t);
+        for (std::size_t r = 0; r < n; ++r) {
+            double acc = rhs[r];
+            for (std::size_t c = 0; c < n; ++c) {
+                const double cv = sys.c_matrix()(r, c);
+                if (cv != 0.0) acc += cv * inv_h * x[c];
+            }
+            rhs[r] = acc;
+        }
+        x = lu.solve(rhs);
+        result.time.push_back(t);
+        result.state.push_back(x);
+    }
+    return result;
+}
+
+}  // namespace nofis::circuit

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "linalg/lu.hpp"
+
+namespace nofis::circuit {
+
+/// Linear transient analysis of an MNA system with the backward-Euler
+/// companion method:
+///     (G + C/h) x_{k+1} = b(t_{k+1}) + (C/h) x_k.
+/// The system matrix is factored once per run (fixed step size), so each
+/// step costs one O(n²) solve. Supports time-varying independent sources
+/// through a per-source waveform callback.
+class TransientAnalysis {
+public:
+    struct Config {
+        double t_stop = 1e-3;
+        double dt = 1e-6;
+        /// Start from the DC operating point (otherwise from zero state).
+        bool start_from_dc = true;
+    };
+
+    /// `waveforms[k]`, when present, replaces voltage source k's value with
+    /// waveforms[k](t) at each step (current sources keep their DC value).
+    TransientAnalysis(const Netlist& netlist, Config cfg);
+
+    /// Scales voltage source `k`'s excitation by w(t) during the run.
+    void set_source_waveform(std::size_t vsource,
+                             std::function<double(double)> w);
+
+    struct Result {
+        std::vector<double> time;
+        /// node_voltage[step][node-1]; branch currents appended after nodes.
+        std::vector<std::vector<double>> state;
+
+        double voltage(std::size_t step, NodeId node) const {
+            return node == 0 ? 0.0 : state.at(step).at(node - 1);
+        }
+    };
+
+    /// Runs the simulation and returns the sampled trajectory.
+    Result run() const;
+
+private:
+    const Netlist* netlist_;
+    Config cfg_;
+    std::vector<std::function<double(double)>> waveforms_;
+};
+
+}  // namespace nofis::circuit

@@ -1,0 +1,17 @@
+#include "core/diagnostics.hpp"
+
+#include <sstream>
+
+namespace nofis::core {
+
+std::string loss_curve_csv(const std::vector<StageDiagnostics>& stages) {
+    std::ostringstream os;
+    os << "stage,level,epoch,loss\n";
+    for (const auto& s : stages)
+        for (std::size_t e = 0; e < s.epoch_loss.size(); ++e)
+            os << s.stage << ',' << s.level << ',' << e << ','
+               << s.epoch_loss[e] << '\n';
+    return os.str();
+}
+
+}  // namespace nofis::core

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nofis::core {
+
+/// Per-stage training record (Figure 3(e) of the paper plots exactly this:
+/// the KL loss of every stage against the epoch index).
+struct StageDiagnostics {
+    std::size_t stage = 0;          ///< m (1-based)
+    double level = 0.0;             ///< a_m
+    std::vector<double> epoch_loss; ///< true KL-loss value per epoch
+    /// Fraction of the stage's final-epoch samples inside Ω_{a_m} — a cheap
+    /// health indicator (should climb toward ~1 as the proposal locks on).
+    double inside_fraction = 0.0;
+};
+
+/// Diagnostics for the final importance-sampling estimate.
+struct IsDiagnostics {
+    double max_weight = 0.0;        ///< largest p/q ratio observed
+    double effective_sample_size = 0.0;  ///< (Σw)² / Σw² over hit samples
+    std::size_t hits = 0;           ///< samples that landed inside Ω
+};
+
+/// Serialises a loss curve as "epoch,loss" CSV lines (bench figure output).
+std::string loss_curve_csv(const std::vector<StageDiagnostics>& stages);
+
+}  // namespace nofis::core

@@ -1,0 +1,64 @@
+#include "core/levels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/normal.hpp"
+
+namespace nofis::core {
+
+LevelSchedule LevelSchedule::manual(std::vector<double> levels) {
+    if (levels.empty())
+        throw std::invalid_argument("LevelSchedule: empty level sequence");
+    for (std::size_t i = 1; i < levels.size(); ++i)
+        if (!(levels[i] < levels[i - 1]))
+            throw std::invalid_argument(
+                "LevelSchedule: levels must be strictly decreasing");
+    if (levels.back() != 0.0)
+        throw std::invalid_argument("LevelSchedule: a_M must equal 0");
+    return LevelSchedule(std::move(levels));
+}
+
+LevelSchedule auto_levels(estimators::CountedProblem& problem,
+                          rng::Engine& eng, const AutoLevelConfig& cfg) {
+    if (cfg.num_levels == 0)
+        throw std::invalid_argument("auto_levels: num_levels must be > 0");
+    if (!(cfg.head_quantile > 0.0 && cfg.head_quantile < 1.0))
+        throw std::invalid_argument("auto_levels: head_quantile in (0,1)");
+
+    const linalg::Matrix pilot =
+        rng::standard_normal_matrix(eng, cfg.pilot_samples, problem.dim());
+    std::vector<double> gv = problem.g_rows(pilot);
+    std::sort(gv.begin(), gv.end());
+    const auto qi = static_cast<std::size_t>(
+        cfg.head_quantile * static_cast<double>(gv.size() - 1));
+    double a1 = gv[qi];
+    if (a1 <= 0.0) {
+        // The event is not rare at the pilot quantile; a single level
+        // (the event itself) suffices.
+        return LevelSchedule::manual({0.0});
+    }
+
+    const std::size_t m_count = cfg.num_levels;
+    std::vector<double> a(m_count);
+    a[0] = a1;
+    a[m_count - 1] = 0.0;
+    // Geometric interpolation needs a positive tail; shift by a small floor
+    // so a_{M-1} lands near but above 0, then blend with linear spacing.
+    const double bias = std::clamp(cfg.geometric_bias, 0.0, 1.0);
+    for (std::size_t m = 1; m + 1 < m_count; ++m) {
+        const double t =
+            static_cast<double>(m) / static_cast<double>(m_count - 1);
+        const double linear = a1 * (1.0 - t);
+        const double geometric = a1 * std::pow(0.25, static_cast<double>(m));
+        a[m] = bias * geometric + (1.0 - bias) * linear;
+    }
+    // Enforce strict decrease in case blending produced a tie.
+    for (std::size_t m = 1; m < m_count; ++m)
+        if (a[m] >= a[m - 1]) a[m] = a[m - 1] * 0.5;
+    a[m_count - 1] = 0.0;
+    return LevelSchedule::manual(std::move(a));
+}
+
+}  // namespace nofis::core

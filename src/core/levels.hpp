@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "estimators/problem.hpp"
+#include "rng/engine.hpp"
+
+namespace nofis::core {
+
+/// The nested-subset level sequence {a_m} of the paper: strictly decreasing
+/// with a_M = 0, inducing Ω_{a_1} ⊇ … ⊇ Ω_{a_M} = Ω.
+class LevelSchedule {
+public:
+    /// Validates: non-empty, strictly decreasing, last element == 0.
+    static LevelSchedule manual(std::vector<double> levels);
+
+    std::size_t num_levels() const noexcept { return a_.size(); }
+    double level(std::size_t m) const { return a_.at(m); }
+    std::span<const double> levels() const noexcept { return a_; }
+
+private:
+    explicit LevelSchedule(std::vector<double> a) : a_(std::move(a)) {}
+    std::vector<double> a_;
+};
+
+/// Automatic level selection — the paper lists this as future work ("the
+/// prevailing approach entails human intervention"); we implement the
+/// natural pilot-quantile heuristic as an extension:
+///
+///   1. Spend `pilot_samples` g-calls on draws from p.
+///   2. a_1 := the `head_quantile` quantile of the pilot g-values, so
+///      P[Ω_{a_1}] ≈ head_quantile (the paper wants ≈ 0.1).
+///   3. Interpolate a_2..a_{M-1} between a_1 and 0 (geometric when a_1 > 0,
+///      matching the rule of thumb that each level scales P by ~0.1).
+///
+/// The pilot calls are charged to the caller's CountedProblem, so Table-1
+/// style accounting stays honest.
+struct AutoLevelConfig {
+    std::size_t num_levels = 5;        ///< M
+    std::size_t pilot_samples = 500;
+    double head_quantile = 0.1;
+    /// Blend in [0,1]: 0 = linear interpolation, 1 = fully geometric decay.
+    double geometric_bias = 0.7;
+};
+
+LevelSchedule auto_levels(estimators::CountedProblem& problem,
+                          rng::Engine& eng, const AutoLevelConfig& cfg);
+
+}  // namespace nofis::core

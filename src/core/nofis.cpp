@@ -1,0 +1,257 @@
+#include "core/nofis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "autodiff/ops.hpp"
+#include "dist/diag_gaussian.hpp"
+#include "nn/optimizer.hpp"
+#include "rng/normal.hpp"
+
+namespace nofis::core {
+
+namespace {
+
+using autodiff::Var;
+using estimators::CountedProblem;
+using estimators::EstimateResult;
+using linalg::Matrix;
+
+/// min(τ(a - g), 0): the tempered log-weight of Eq. (6)/(9).
+double tempered_log_weight(double tau, double a, double g) {
+    return std::min(tau * (a - g), 0.0);
+}
+
+}  // namespace
+
+NofisEstimator::NofisEstimator(NofisConfig cfg, LevelSchedule levels)
+    : cfg_(std::move(cfg)), levels_(std::move(levels)) {}
+
+EstimateResult NofisEstimator::estimate(
+    const estimators::RareEventProblem& problem, rng::Engine& eng) const {
+    return run(problem, eng).estimate;
+}
+
+NofisEstimator::RunResult NofisEstimator::run(
+    const estimators::RareEventProblem& problem, rng::Engine& eng) const {
+    const std::size_t d = problem.dim();
+    const std::size_t num_stages = levels_.num_levels();
+    CountedProblem counted(problem);
+
+    flow::StackConfig scfg;
+    scfg.dim = d;
+    scfg.num_blocks = num_stages;
+    scfg.layers_per_block = cfg_.layers_per_block;
+    scfg.hidden = cfg_.hidden;
+    scfg.scale_cap = cfg_.scale_cap;
+    scfg.coupling = cfg_.coupling;
+    scfg.use_actnorm = cfg_.use_actnorm;
+    rng::Engine init_eng = eng.split();
+    auto stack = std::make_unique<flow::CouplingStack>(scfg, init_eng);
+
+    RunResult result;
+    result.stages.reserve(num_stages);
+
+    const std::size_t n = cfg_.samples_per_epoch;
+    std::vector<double> grad_buf(d);
+
+    for (std::size_t m = 1; m <= num_stages; ++m) {
+        const double a_m = levels_.level(m - 1);
+        const std::size_t block = m - 1;
+
+        std::vector<autodiff::Var> train_params;
+        if (cfg_.freeze_previous) {
+            stack->freeze_blocks_before(block);
+            train_params = stack->block_params(block);
+        } else {
+            stack->unfreeze_all();
+            for (std::size_t b = 0; b < m; ++b)
+                for (auto& p : stack->block_params(b))
+                    train_params.push_back(p);
+        }
+        nn::Adam opt(train_params, cfg_.learning_rate);
+        double stage_lr = cfg_.learning_rate;
+
+        StageDiagnostics diag;
+        diag.stage = m;
+        diag.level = a_m;
+
+        for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+            const Matrix z0 = rng::standard_normal_matrix(eng, n, d);
+
+            // Frozen prefix on the cheap value path; graph only for the
+            // trainable tail. With NoFreeze everything is in the graph.
+            Matrix z_in = z0;
+            std::vector<double> frozen_log_det(n, 0.0);
+            std::size_t graph_begin = 0;
+            if (cfg_.freeze_previous && block > 0) {
+                z_in = stack->transport_range(z0, 0, block, frozen_log_det);
+                graph_begin = block;
+            }
+            auto fwd = stack->forward_range(Var(z_in), graph_begin, m);
+            const Matrix& z = fwd.z.value();
+
+            if (!z.all_finite()) {
+                // Flow blew up this epoch; skip the update rather than
+                // poisoning Adam's moments with NaNs.
+                diag.epoch_loss.push_back(
+                    diag.epoch_loss.empty() ? 0.0 : diag.epoch_loss.back());
+                continue;
+            }
+
+            // Black-box target term: value for the loss report, gradient
+            // injected via dot_constant. ∂T/∂z_n = (1/N)(−τ·∇g·1[g>a] − z_n).
+            Matrix target_grad(n, d);
+            double target_value = 0.0;
+            double inside = 0.0;
+            for (std::size_t r = 0; r < n; ++r) {
+                const auto zr = z.row_span(r);
+                const double gv = counted.g(zr);
+                if (gv <= a_m) inside += 1.0;
+                target_value += tempered_log_weight(cfg_.tau, a_m, gv) +
+                                rng::standard_normal_log_pdf(zr);
+                if (gv > a_m) {
+                    // Backward through the same simulation point is free
+                    // under the paper's autograd accounting (see
+                    // RareEventProblem::g_grad).
+                    problem.g_grad(zr, grad_buf);
+                    for (std::size_t c = 0; c < d; ++c)
+                        target_grad(r, c) = -cfg_.tau * grad_buf[c];
+                }
+                for (std::size_t c = 0; c < d; ++c) target_grad(r, c) -= zr[c];
+            }
+            const double inv_n = 1.0 / static_cast<double>(n);
+            target_value *= inv_n;
+            target_grad *= inv_n;
+            inside *= inv_n;
+
+            // loss = −mean(log-det) − T. The dot_constant surrogate carries
+            // exactly ∂T/∂z into the graph.
+            Var graph_loss =
+                autodiff::add(autodiff::neg(autodiff::mean(fwd.log_det)),
+                              autodiff::neg(autodiff::dot_constant(
+                                  fwd.z, target_grad)));
+
+            double mean_log_det = fwd.log_det.value().mean();
+            for (double v : frozen_log_det) mean_log_det += v * inv_n;
+            const double true_loss = -mean_log_det - target_value;
+
+            if (!std::isfinite(true_loss)) {
+                diag.epoch_loss.push_back(
+                    diag.epoch_loss.empty() ? 0.0 : diag.epoch_loss.back());
+                continue;
+            }
+
+            opt.zero_grad();
+            graph_loss.backward();
+            opt.clip_grad_norm(cfg_.grad_clip);
+            opt.set_learning_rate(stage_lr);
+            opt.step();
+            stage_lr *= cfg_.lr_decay;
+
+            diag.epoch_loss.push_back(true_loss);
+            diag.inside_fraction = inside;
+        }
+        result.stages.push_back(std::move(diag));
+    }
+
+    // Final importance-sampling estimate with q_MK (Eq. 2).
+    IsDiagnostics is_diag;
+    EstimateResult est =
+        importance_estimate(*stack, problem, eng, cfg_.n_is, &is_diag,
+                            cfg_.defensive_weight, cfg_.defensive_sigma);
+    est.calls += counted.calls();
+    result.estimate = est;
+    result.is_diag = is_diag;
+    result.flow = std::move(stack);
+    return result;
+}
+
+EstimateResult NofisEstimator::importance_estimate(
+    const flow::CouplingStack& trained_flow,
+    const estimators::RareEventProblem& problem, rng::Engine& eng,
+    std::size_t n_is, IsDiagnostics* diag, double defensive_weight,
+    double defensive_sigma) {
+    CountedProblem counted(problem);
+    const std::size_t d_dim = trained_flow.dim();
+    const std::size_t blocks = trained_flow.num_blocks();
+
+    // Draw from the (possibly defensive-mixture) proposal and record exact
+    // mixture log-densities.
+    linalg::Matrix z(n_is, d_dim);
+    std::vector<double> log_q(n_is);
+    if (defensive_weight <= 0.0) {
+        auto samples = trained_flow.sample(eng, n_is, blocks);
+        z = std::move(samples.z);
+        log_q = std::move(samples.log_q);
+    } else {
+        const double lw_wide = std::log(defensive_weight);
+        const double lw_flow = std::log1p(-defensive_weight);
+        const dist::DiagGaussian wide =
+            dist::DiagGaussian::isotropic(d_dim, defensive_sigma);
+        // Component choice per sample; batch the flow draws.
+        std::vector<bool> from_wide(n_is);
+        std::size_t n_wide = 0;
+        for (std::size_t r = 0; r < n_is; ++r) {
+            from_wide[r] = eng.uniform() < defensive_weight;
+            if (from_wide[r]) ++n_wide;
+        }
+        const linalg::Matrix zw = wide.sample(eng, n_wide);
+        auto zf = trained_flow.sample(eng, n_is - n_wide, blocks);
+        // Cross densities: flow density at wide points needs the inverse
+        // path; wide density anywhere is closed-form.
+        const std::vector<double> flow_at_wide =
+            n_wide > 0 ? trained_flow.log_prob(zw, blocks)
+                       : std::vector<double>{};
+        std::size_t iw = 0;
+        std::size_t jf = 0;
+        for (std::size_t r = 0; r < n_is; ++r) {
+            double lq_flow;
+            double lq_wide;
+            if (from_wide[r]) {
+                const auto row = zw.row_span(iw);
+                std::copy(row.begin(), row.end(), z.row_span(r).begin());
+                lq_flow = flow_at_wide[iw];
+                lq_wide = wide.log_pdf(row);
+                ++iw;
+            } else {
+                const auto row = zf.z.row_span(jf);
+                std::copy(row.begin(), row.end(), z.row_span(r).begin());
+                lq_flow = zf.log_q[jf];
+                lq_wide = wide.log_pdf(row);
+                ++jf;
+            }
+            const double a = lw_flow + lq_flow;
+            const double b = lw_wide + lq_wide;
+            const double m = std::max(a, b);
+            log_q[r] = m + std::log(std::exp(a - m) + std::exp(b - m));
+        }
+    }
+
+    double total = 0.0;
+    IsDiagnostics d;
+    double sum_w = 0.0;
+    double sum_w2 = 0.0;
+    for (std::size_t r = 0; r < n_is; ++r) {
+        const auto zr = z.row_span(r);
+        const double gv = counted.g(zr);
+        if (gv > 0.0) continue;
+        const double log_w = rng::standard_normal_log_pdf(zr) - log_q[r];
+        const double w = std::exp(log_w);
+        total += w;
+        sum_w += w;
+        sum_w2 += w * w;
+        d.max_weight = std::max(d.max_weight, w);
+        ++d.hits;
+    }
+    EstimateResult res;
+    res.p_hat = total / static_cast<double>(n_is);
+    res.calls = counted.calls();
+    res.failed = !std::isfinite(res.p_hat);
+    d.effective_sample_size =
+        sum_w2 > 0.0 ? (sum_w * sum_w) / sum_w2 : 0.0;
+    if (diag != nullptr) *diag = d;
+    return res;
+}
+
+}  // namespace nofis::core

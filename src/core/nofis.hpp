@@ -1,0 +1,98 @@
+#pragma once
+
+#include <memory>
+
+#include "core/diagnostics.hpp"
+#include "core/levels.hpp"
+#include "estimators/problem.hpp"
+#include "flow/coupling_stack.hpp"
+
+namespace nofis::core {
+
+/// Hyper-parameters of Algorithm 1. Defaults follow the paper's reported
+/// ranges (E in 15~20, N in 100~400, M in 4~6, τ in 10~30, K = 8).
+struct NofisConfig {
+    // Flow architecture.
+    std::size_t layers_per_block = 8;           ///< K
+    std::vector<std::size_t> hidden = {32, 32}; ///< conditioner MLP layout
+    double scale_cap = 2.0;                     ///< log-scale bound per layer
+    flow::CouplingKind coupling = flow::CouplingKind::kAffine;
+    bool use_actnorm = false;                   ///< Glow-style ActNorm layers
+
+    // Per-stage training (the inner loop of Algorithm 1).
+    std::size_t epochs = 20;              ///< E — updates per stage
+    std::size_t samples_per_epoch = 400;  ///< N — fresh base draws per epoch
+    double learning_rate = 5e-3;
+    /// Multiplicative per-epoch LR decay within each stage (1 = constant).
+    double lr_decay = 1.0;
+    double grad_clip = 50.0;
+
+    // NOFIS specifics.
+    double tau = 20.0;          ///< temperature of the tempered targets
+    std::size_t n_is = 1000;    ///< N_IS — final importance-sampling draws
+    /// Freeze blocks 1..m-1 while training block m (the paper's nominal
+    /// setup; false reproduces the "NoFreeze" ablation of Figure 5).
+    bool freeze_previous = true;
+
+    /// Extension (defensive importance sampling, Hesterberg 1995): mix the
+    /// learned proposal with a scaled prior N(0, s²I) for the final IS
+    /// stage, q = (1-w)·q_MK + w·N(0, s²I). Bounds the weight blow-up when
+    /// the flow drops failure modes in heavily multimodal problems (e.g.
+    /// Powell). 0 disables (the paper's plain Eq. 2 estimator).
+    double defensive_weight = 0.0;
+    double defensive_sigma = 1.5;
+};
+
+/// Normalizing-flow assisted importance sampling (the paper's contribution).
+///
+/// Stage m minimises the KL divergence D[q_{mK} || p_m^τ] of Eq. (8) by
+/// sampling z0 ~ p, transporting through the first m blocks, and descending
+///     loss = −(1/N) Σ_n Σ_j log|det J_j^n| − (1/N) Σ_n log p_m^τ(z_mK^n)
+/// with Adam. Gradients of the black-box term log p_m^τ flow through an
+/// externally-computed ∂/∂z (analytic, adjoint, or finite-difference — see
+/// RareEventProblem::g_grad) injected into the graph via dot_constant.
+/// After the last stage, P_r is estimated with Eq. (2) using q_MK as the
+/// proposal.
+///
+/// Total g-call budget: M·E·N + N_IS (+ pilot calls if auto levels are used
+/// by the caller), matching the paper's accounting.
+class NofisEstimator final : public estimators::Estimator {
+public:
+    NofisEstimator(NofisConfig cfg, LevelSchedule levels);
+
+    std::string name() const override { return "NOFIS"; }
+
+    estimators::EstimateResult estimate(
+        const estimators::RareEventProblem& problem,
+        rng::Engine& eng) const override;
+
+    /// Full run with training diagnostics and (optionally) the trained flow
+    /// itself — the figure benches visualise q_{mK} from it.
+    struct RunResult {
+        estimators::EstimateResult estimate;
+        std::vector<StageDiagnostics> stages;
+        IsDiagnostics is_diag;
+        std::unique_ptr<flow::CouplingStack> flow;  ///< trained model
+    };
+    RunResult run(const estimators::RareEventProblem& problem,
+                  rng::Engine& eng) const;
+
+    /// Re-estimates P_r from an already-trained flow with a fresh batch of
+    /// `n_is` proposal draws (Figure 4's N_IS sweep). Counts n_is calls.
+    /// When `defensive_weight` > 0 the proposal is the defensive mixture
+    /// described in NofisConfig.
+    static estimators::EstimateResult importance_estimate(
+        const flow::CouplingStack& trained_flow,
+        const estimators::RareEventProblem& problem, rng::Engine& eng,
+        std::size_t n_is, IsDiagnostics* diag = nullptr,
+        double defensive_weight = 0.0, double defensive_sigma = 1.5);
+
+    const NofisConfig& config() const noexcept { return cfg_; }
+    const LevelSchedule& levels() const noexcept { return levels_; }
+
+private:
+    NofisConfig cfg_;
+    LevelSchedule levels_;
+};
+
+}  // namespace nofis::core

@@ -1,0 +1,49 @@
+#include "dist/diag_gaussian.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/normal.hpp"
+
+namespace nofis::dist {
+
+namespace {
+constexpr double kLog2Pi = 1.8378770664093454835606594728112;
+}
+
+DiagGaussian::DiagGaussian(std::vector<double> mean, std::vector<double> sigma)
+    : mean_(std::move(mean)), sigma_(std::move(sigma)) {
+    if (mean_.empty() || mean_.size() != sigma_.size())
+        throw std::invalid_argument("DiagGaussian: mean/sigma size mismatch");
+    log_norm_ = -0.5 * static_cast<double>(dim()) * kLog2Pi;
+    for (double s : sigma_) {
+        if (!(s > 0.0))
+            throw std::invalid_argument("DiagGaussian: sigma must be positive");
+        log_norm_ -= std::log(s);
+    }
+}
+
+DiagGaussian DiagGaussian::isotropic(std::size_t dim, double s) {
+    return {std::vector<double>(dim, 0.0), std::vector<double>(dim, s)};
+}
+
+linalg::Matrix DiagGaussian::sample(rng::Engine& eng, std::size_t n) const {
+    linalg::Matrix m = rng::standard_normal_matrix(eng, n, dim());
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < dim(); ++c)
+            m(r, c) = mean_[c] + sigma_[c] * m(r, c);
+    return m;
+}
+
+double DiagGaussian::log_pdf(std::span<const double> x) const {
+    if (x.size() != dim())
+        throw std::invalid_argument("DiagGaussian::log_pdf: dim mismatch");
+    double quad = 0.0;
+    for (std::size_t i = 0; i < dim(); ++i) {
+        const double z = (x[i] - mean_[i]) / sigma_[i];
+        quad += z * z;
+    }
+    return log_norm_ - 0.5 * quad;
+}
+
+}  // namespace nofis::dist

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "linalg/matrix.hpp"
+#include "rng/engine.hpp"
+
+namespace nofis::dist {
+
+/// Abstract D-dimensional continuous distribution with exact sampling and
+/// exact log-density evaluation — the contract every importance-sampling
+/// proposal in this library must satisfy (Eq. 2 of the paper needs both).
+class Distribution {
+public:
+    virtual ~Distribution() = default;
+
+    /// Dimensionality D.
+    virtual std::size_t dim() const noexcept = 0;
+
+    /// Draws `n` i.i.d. samples, one per row -> (n x D).
+    virtual linalg::Matrix sample(rng::Engine& eng, std::size_t n) const = 0;
+
+    /// log density at a single point x (x.size() == D).
+    virtual double log_pdf(std::span<const double> x) const = 0;
+
+    /// log density of every row of `x` -> length x.rows().
+    std::vector<double> log_pdf_rows(const linalg::Matrix& x) const;
+};
+
+}  // namespace nofis::dist

@@ -1,0 +1,47 @@
+#include "dist/full_gaussian.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "rng/normal.hpp"
+
+namespace nofis::dist {
+
+namespace {
+constexpr double kLog2Pi = 1.8378770664093454835606594728112;
+}
+
+FullGaussian::FullGaussian(std::vector<double> mean, const linalg::Matrix& cov)
+    : mean_(std::move(mean)), chol_(cov) {
+    if (mean_.size() != cov.rows())
+        throw std::invalid_argument("FullGaussian: mean/cov size mismatch");
+    log_norm_ = -0.5 * (static_cast<double>(dim()) * kLog2Pi +
+                        chol_.log_determinant());
+}
+
+linalg::Matrix FullGaussian::sample(rng::Engine& eng, std::size_t n) const {
+    linalg::Matrix z = rng::standard_normal_matrix(eng, n, dim());
+    linalg::Matrix out(n, dim());
+    std::vector<double> zi(dim());
+    for (std::size_t r = 0; r < n; ++r) {
+        const auto row = z.row_span(r);
+        std::copy(row.begin(), row.end(), zi.begin());
+        const auto x = chol_.multiply_lower(zi);
+        for (std::size_t c = 0; c < dim(); ++c) out(r, c) = mean_[c] + x[c];
+    }
+    return out;
+}
+
+double FullGaussian::log_pdf(std::span<const double> x) const {
+    if (x.size() != dim())
+        throw std::invalid_argument("FullGaussian::log_pdf: dim mismatch");
+    std::vector<double> centred(dim());
+    for (std::size_t i = 0; i < dim(); ++i) centred[i] = x[i] - mean_[i];
+    // Quadratic form (x-mu)ᵀ Σ⁻¹ (x-mu) = ||L⁻¹(x-mu)||².
+    const auto y = chol_.solve_lower(centred);
+    double quad = 0.0;
+    for (double v : y) quad += v * v;
+    return log_norm_ - 0.5 * quad;
+}
+
+}  // namespace nofis::dist

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace nofis::dist {
+
+/// Gaussian with full covariance, N(mu, Σ), parameterised via the Cholesky
+/// factor of Σ. Sampling is x = mu + L z; log-pdf uses the cached factor.
+///
+/// Used by Adapt-IS when the failure region is a tilted slab and a diagonal
+/// proposal would be badly conditioned.
+class FullGaussian final : public Distribution {
+public:
+    /// Throws when `cov` is not symmetric positive definite.
+    FullGaussian(std::vector<double> mean, const linalg::Matrix& cov);
+
+    std::size_t dim() const noexcept override { return mean_.size(); }
+    linalg::Matrix sample(rng::Engine& eng, std::size_t n) const override;
+    double log_pdf(std::span<const double> x) const override;
+
+    std::span<const double> mean() const noexcept { return mean_; }
+
+private:
+    std::vector<double> mean_;
+    linalg::Cholesky chol_;
+    double log_norm_ = 0.0;
+};
+
+}  // namespace nofis::dist

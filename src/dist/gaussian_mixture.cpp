@@ -1,0 +1,152 @@
+#include "dist/gaussian_mixture.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "rng/normal.hpp"
+
+namespace nofis::dist {
+
+namespace {
+constexpr double kLog2Pi = 1.8378770664093454835606594728112;
+
+double component_log_pdf(const GaussianMixture::Component& c,
+                         std::span<const double> x) {
+    double quad = 0.0;
+    double log_norm = -0.5 * static_cast<double>(x.size()) * kLog2Pi;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double z = (x[i] - c.mean[i]) / c.sigma[i];
+        quad += z * z;
+        log_norm -= std::log(c.sigma[i]);
+    }
+    return log_norm - 0.5 * quad;
+}
+}  // namespace
+
+GaussianMixture::GaussianMixture(std::vector<Component> components)
+    : comps_(std::move(components)) {
+    if (comps_.empty())
+        throw std::invalid_argument("GaussianMixture: needs >= 1 component");
+    dim_ = comps_.front().mean.size();
+    for (const auto& c : comps_) {
+        if (c.mean.size() != dim_ || c.sigma.size() != dim_)
+            throw std::invalid_argument("GaussianMixture: ragged components");
+        if (c.weight < 0.0)
+            throw std::invalid_argument("GaussianMixture: negative weight");
+        for (double s : c.sigma)
+            if (!(s > 0.0))
+                throw std::invalid_argument("GaussianMixture: sigma <= 0");
+    }
+    renormalise();
+}
+
+GaussianMixture GaussianMixture::standard(std::size_t dim, std::size_t k) {
+    std::vector<Component> comps(
+        k, Component{1.0 / static_cast<double>(k), std::vector<double>(dim, 0.0),
+                     std::vector<double>(dim, 1.0)});
+    return GaussianMixture(std::move(comps));
+}
+
+void GaussianMixture::renormalise() {
+    double total = 0.0;
+    for (const auto& c : comps_) total += c.weight;
+    if (total <= 0.0)
+        throw std::invalid_argument("GaussianMixture: weights sum to zero");
+    for (auto& c : comps_) c.weight /= total;
+}
+
+linalg::Matrix GaussianMixture::sample(rng::Engine& eng, std::size_t n) const {
+    linalg::Matrix out(n, dim_);
+    for (std::size_t r = 0; r < n; ++r) {
+        // Categorical draw over component weights.
+        double u = eng.uniform();
+        std::size_t k = comps_.size() - 1;
+        for (std::size_t i = 0; i < comps_.size(); ++i) {
+            if (u < comps_[i].weight) {
+                k = i;
+                break;
+            }
+            u -= comps_[i].weight;
+        }
+        const auto& c = comps_[k];
+        for (std::size_t d = 0; d < dim_; ++d)
+            out(r, d) = c.mean[d] + c.sigma[d] * rng::standard_normal(eng);
+    }
+    return out;
+}
+
+double GaussianMixture::log_pdf(std::span<const double> x) const {
+    if (x.size() != dim_)
+        throw std::invalid_argument("GaussianMixture::log_pdf: dim mismatch");
+    // log-sum-exp over components for numerical stability.
+    double max_term = -std::numeric_limits<double>::infinity();
+    std::vector<double> terms(comps_.size());
+    for (std::size_t i = 0; i < comps_.size(); ++i) {
+        terms[i] = std::log(comps_[i].weight) + component_log_pdf(comps_[i], x);
+        max_term = std::max(max_term, terms[i]);
+    }
+    if (!std::isfinite(max_term)) return max_term;
+    double s = 0.0;
+    for (double t : terms) s += std::exp(t - max_term);
+    return max_term + std::log(s);
+}
+
+void GaussianMixture::ce_update(const linalg::Matrix& x,
+                                std::span<const double> w,
+                                double sigma_floor) {
+    if (x.cols() != dim_ || x.rows() != w.size())
+        throw std::invalid_argument("GaussianMixture::ce_update: shape mismatch");
+    const std::size_t n = x.rows();
+    const std::size_t k = comps_.size();
+
+    // E-step: responsibilities r_ik ∝ w_i * π_k N(x_i; μ_k, σ_k).
+    linalg::Matrix resp(n, k);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto xi = x.row_span(i);
+        double max_term = -std::numeric_limits<double>::infinity();
+        std::vector<double> lp(k);
+        for (std::size_t j = 0; j < k; ++j) {
+            lp[j] = std::log(comps_[j].weight) + component_log_pdf(comps_[j], xi);
+            max_term = std::max(max_term, lp[j]);
+        }
+        double denom = 0.0;
+        for (std::size_t j = 0; j < k; ++j) denom += std::exp(lp[j] - max_term);
+        for (std::size_t j = 0; j < k; ++j)
+            resp(i, j) = w[i] * std::exp(lp[j] - max_term) / denom;
+    }
+
+    // M-step: weighted means / sigmas / weights.
+    double total_w = 0.0;
+    for (std::size_t i = 0; i < n; ++i) total_w += w[i];
+    if (total_w <= 0.0) return;  // nothing informative; keep current proposal
+
+    for (std::size_t j = 0; j < k; ++j) {
+        double nj = 0.0;
+        for (std::size_t i = 0; i < n; ++i) nj += resp(i, j);
+        if (nj <= 1e-300) {
+            // A starved component keeps its parameters but loses weight.
+            comps_[j].weight = 1e-6;
+            continue;
+        }
+        auto& c = comps_[j];
+        c.weight = nj / total_w;
+        for (std::size_t d = 0; d < dim_; ++d) {
+            double m = 0.0;
+            for (std::size_t i = 0; i < n; ++i) m += resp(i, j) * x(i, d);
+            m /= nj;
+            double v = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const double dx = x(i, d) - m;
+                v += resp(i, j) * dx * dx;
+            }
+            v /= nj;
+            c.mean[d] = m;
+            c.sigma[d] = std::max(std::sqrt(v), sigma_floor);
+        }
+    }
+    renormalise();
+}
+
+}  // namespace nofis::dist

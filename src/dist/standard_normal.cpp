@@ -1,0 +1,31 @@
+#include "dist/standard_normal.hpp"
+
+#include <stdexcept>
+
+#include "rng/normal.hpp"
+
+namespace nofis::dist {
+
+std::vector<double> Distribution::log_pdf_rows(const linalg::Matrix& x) const {
+    if (x.cols() != dim())
+        throw std::invalid_argument("log_pdf_rows: dimension mismatch");
+    std::vector<double> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) out[r] = log_pdf(x.row_span(r));
+    return out;
+}
+
+StandardNormal::StandardNormal(std::size_t dim) : dim_(dim) {
+    if (dim == 0) throw std::invalid_argument("StandardNormal: dim must be > 0");
+}
+
+linalg::Matrix StandardNormal::sample(rng::Engine& eng, std::size_t n) const {
+    return rng::standard_normal_matrix(eng, n, dim_);
+}
+
+double StandardNormal::log_pdf(std::span<const double> x) const {
+    if (x.size() != dim_)
+        throw std::invalid_argument("StandardNormal::log_pdf: dim mismatch");
+    return rng::standard_normal_log_pdf(x);
+}
+
+}  // namespace nofis::dist

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "dist/distribution.hpp"
+
+namespace nofis::dist {
+
+/// D-dimensional standard normal N(0, I) — the paper's data-generating
+/// distribution p for all test cases and the base distribution q0 of the
+/// normalizing flow.
+class StandardNormal final : public Distribution {
+public:
+    explicit StandardNormal(std::size_t dim);
+
+    std::size_t dim() const noexcept override { return dim_; }
+    linalg::Matrix sample(rng::Engine& eng, std::size_t n) const override;
+    double log_pdf(std::span<const double> x) const override;
+
+private:
+    std::size_t dim_;
+};
+
+}  // namespace nofis::dist

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "dist/gaussian_mixture.hpp"
+#include "estimators/problem.hpp"
+
+namespace nofis::estimators {
+
+/// Adaptive importance sampling with a Gaussian-mixture proposal
+/// (cross-entropy method with level adaptation; Bucklew 2004, Shi et al.
+/// DAC 2018).
+///
+/// Iteratively: draw from the current mixture, pick the elite level (the
+/// rho-quantile of g, floored at 0), re-fit the mixture to the
+/// importance-weighted elite samples, and tighten until the level reaches 0.
+/// The final iteration's proposal feeds a standard IS estimate.
+class AdaptiveIsEstimator final : public Estimator {
+public:
+    struct Config {
+        std::size_t num_components = 3;
+        std::size_t iterations = 6;
+        std::size_t samples_per_iteration = 5000;
+        std::size_t final_samples = 5000;
+        double elite_quantile = 0.1;
+        double sigma_floor = 0.05;
+        /// Initial proposal inflation (wider than p to explore the tail).
+        double initial_sigma = 2.0;
+    };
+
+    explicit AdaptiveIsEstimator(Config cfg) : cfg_(cfg) {}
+
+    std::string name() const override { return "Adapt-IS"; }
+    EstimateResult estimate(const RareEventProblem& problem,
+                            rng::Engine& eng) const override;
+
+private:
+    Config cfg_;
+};
+
+}  // namespace nofis::estimators

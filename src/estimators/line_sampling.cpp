@@ -1,0 +1,137 @@
+#include "estimators/line_sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "rng/normal.hpp"
+
+namespace nofis::estimators {
+
+namespace {
+
+void normalise(std::vector<double>& v) {
+    const double n = linalg::norm2(v);
+    if (n > 0.0)
+        for (double& x : v) x /= n;
+}
+
+}  // namespace
+
+EstimateResult LineSamplingEstimator::estimate(const RareEventProblem& raw,
+                                               rng::Engine& eng) const {
+    CountedProblem problem(raw);
+    const std::size_t d = problem.dim();
+
+    // --- Step 1: important direction ≈ the minimum-norm failure point
+    // (the "design point" of FORM); approximated by the smallest-norm
+    // failing samples of an inflated-sigma pilot.
+    std::vector<double> alpha(d, 0.0);
+    {
+        std::vector<double> x(d);
+        std::vector<std::pair<double, std::vector<double>>> fails_by_norm;
+        for (std::size_t i = 0; i < cfg_.pilot_samples; ++i) {
+            rng::fill_standard_normal(eng, x);
+            for (double& v : x) v *= cfg_.pilot_sigma;
+            if (problem.g(x) <= 0.0)
+                fails_by_norm.emplace_back(linalg::norm2(x), x);
+        }
+        std::sort(fails_by_norm.begin(), fails_by_norm.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        const std::size_t keep =
+            std::min<std::size_t>(3, fails_by_norm.size());
+        for (std::size_t k = 0; k < keep; ++k) {
+            // Unit-direction average so a far outlier cannot dominate.
+            const auto& pt = fails_by_norm[k].second;
+            const double n = fails_by_norm[k].first;
+            for (std::size_t c = 0; c < d; ++c) alpha[c] += pt[c] / n;
+        }
+        if (keep == 0) {
+            // Fall back to the descent direction of g at the origin (one
+            // counted gradient call).
+            std::vector<double> grad(d);
+            problem.g_grad(std::vector<double>(d, 0.0), grad);
+            for (std::size_t c = 0; c < d; ++c) alpha[c] = -grad[c];
+        }
+        normalise(alpha);
+        if (linalg::norm2(alpha) == 0.0) {
+            EstimateResult res;
+            res.failed = true;
+            res.detail = "no important direction found";
+            res.calls = problem.calls();
+            return res;
+        }
+    }
+
+    // --- Step 2: per-line 1-D tail probabilities.
+    double total = 0.0;
+    std::size_t solved = 0;
+    std::vector<double> x_perp(d);
+    std::vector<double> probe(d);
+    for (std::size_t line = 0; line < cfg_.num_lines; ++line) {
+        // x_perp ~ p projected onto the complement of alpha.
+        rng::fill_standard_normal(eng, x_perp);
+        const double along = linalg::dot(x_perp, alpha);
+        for (std::size_t c = 0; c < d; ++c) x_perp[c] -= along * alpha[c];
+
+        const auto g_at = [&](double c) {
+            for (std::size_t k = 0; k < d; ++k)
+                probe[k] = x_perp[k] + c * alpha[k];
+            return problem.g(probe);
+        };
+
+        // Bracket the root: march outward until g flips sign.
+        std::size_t evals = 0;
+        double c_lo = 0.0;
+        double g_lo = g_at(0.0);
+        ++evals;
+        if (g_lo <= 0.0) {
+            // The line starts inside Ω: the tail covers c >= 0 entirely
+            // (treat the whole positive half-line as failing; exact for
+            // star-shaped regions around alpha).
+            total += 1.0 - rng::normal_cdf(0.0);
+            ++solved;
+            continue;
+        }
+        double c_hi = 1.0;
+        double g_hi = g_at(c_hi);
+        ++evals;
+        while (g_hi > 0.0 && c_hi < cfg_.c_max &&
+               evals < cfg_.max_line_evals) {
+            c_lo = c_hi;
+            g_lo = g_hi;
+            c_hi *= 1.7;
+            g_hi = g_at(c_hi);
+            ++evals;
+        }
+        if (g_hi > 0.0) continue;  // no failure on this line within range
+
+        // Regula falsi refinement.
+        double root = c_hi;
+        while (evals < cfg_.max_line_evals) {
+            root = c_lo + (c_hi - c_lo) * g_lo / (g_lo - g_hi);
+            const double g_mid = g_at(root);
+            ++evals;
+            if (std::abs(g_mid) < 1e-12) break;
+            if (g_mid > 0.0) {
+                c_lo = root;
+                g_lo = g_mid;
+            } else {
+                c_hi = root;
+                g_hi = g_mid;
+            }
+        }
+        total += 1.0 - rng::normal_cdf(root);
+        ++solved;
+    }
+
+    EstimateResult res;
+    res.p_hat = total / static_cast<double>(cfg_.num_lines);
+    res.calls = problem.calls();
+    res.failed = solved == 0;
+    if (res.failed) res.detail = "no line reached the failure region";
+    return res;
+}
+
+}  // namespace nofis::estimators

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "estimators/problem.hpp"
+
+namespace nofis::estimators {
+
+/// Line sampling (Koutsourelakis et al. 2004; the active-learning variant is
+/// the paper's oscillator reference [18]).
+///
+/// Picks an "important direction" α pointing into the failure region, then
+/// for each of `num_lines` random lines { x_⊥ + c·α : c ∈ ℝ } (x_⊥ drawn
+/// from p restricted to α's orthogonal complement) root-solves
+/// g(x_⊥ + c·α) = 0 along the line and accumulates the exact 1-D Gaussian
+/// tail 1 − Φ(c*). The estimator is exact for affine limit states and very
+/// efficient whenever the failure region is a (possibly curved) half-space;
+/// it degrades on strongly multimodal regions — a useful contrast to NOFIS.
+class LineSamplingEstimator final : public Estimator {
+public:
+    struct Config {
+        std::size_t num_lines = 100;
+        /// Pilot draws used to locate the important direction (the mean of
+        /// the failing pilot samples; falls back to -∇g(0) if none fail at
+        /// inflated sigma).
+        std::size_t pilot_samples = 300;
+        double pilot_sigma = 3.0;
+        /// Max g-calls per line during root bracketing/refinement.
+        std::size_t max_line_evals = 12;
+        /// Search range along the line (in sigma units).
+        double c_max = 10.0;
+    };
+
+    explicit LineSamplingEstimator(Config cfg) : cfg_(cfg) {}
+
+    std::string name() const override { return "LineSampling"; }
+    EstimateResult estimate(const RareEventProblem& problem,
+                            rng::Engine& eng) const override;
+
+private:
+    Config cfg_;
+};
+
+}  // namespace nofis::estimators

@@ -1,0 +1,29 @@
+#include "estimators/monte_carlo.hpp"
+
+#include <algorithm>
+
+#include "rng/normal.hpp"
+
+namespace nofis::estimators {
+
+EstimateResult MonteCarloEstimator::estimate(const RareEventProblem& problem,
+                                             rng::Engine& eng) const {
+    CountedProblem counted(problem);
+    std::size_t hits = 0;
+    std::size_t remaining = cfg_.num_samples;
+    while (remaining > 0) {
+        const std::size_t n = std::min(remaining, cfg_.batch);
+        const linalg::Matrix x =
+            rng::standard_normal_matrix(eng, n, counted.dim());
+        for (double gv : counted.g_rows(x))
+            if (gv <= 0.0) ++hits;
+        remaining -= n;
+    }
+    EstimateResult res;
+    res.p_hat = static_cast<double>(hits) /
+                static_cast<double>(cfg_.num_samples);
+    res.calls = counted.calls();
+    return res;
+}
+
+}  // namespace nofis::estimators

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "estimators/problem.hpp"
+
+namespace nofis::estimators {
+
+/// Plain Monte Carlo: p_hat = (1/N) Σ 1[g(x_n) <= 0], x_n ~ p.
+///
+/// The reference baseline of Table 1; at rare-event budgets it usually
+/// returns 0 — exactly the failure mode the paper's introduction motivates.
+class MonteCarloEstimator final : public Estimator {
+public:
+    struct Config {
+        std::size_t num_samples = 10000;
+        /// Evaluate in chunks of this many rows (memory bound only).
+        std::size_t batch = 4096;
+    };
+
+    explicit MonteCarloEstimator(Config cfg) : cfg_(cfg) {}
+
+    std::string name() const override { return "MC"; }
+    EstimateResult estimate(const RareEventProblem& problem,
+                            rng::Engine& eng) const override;
+
+private:
+    Config cfg_;
+};
+
+}  // namespace nofis::estimators

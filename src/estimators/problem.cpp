@@ -1,0 +1,52 @@
+#include "estimators/problem.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nofis::estimators {
+
+double RareEventProblem::g_grad(std::span<const double> x,
+                                std::span<double> grad_out) const {
+    if (x.size() != dim() || grad_out.size() != dim())
+        throw std::invalid_argument("g_grad: dimension mismatch");
+    const double h = fd_step();
+    std::vector<double> probe(x.begin(), x.end());
+    for (std::size_t i = 0; i < dim(); ++i) {
+        const double orig = probe[i];
+        probe[i] = orig + h;
+        const double fp = g(probe);
+        probe[i] = orig - h;
+        const double fm = g(probe);
+        probe[i] = orig;
+        grad_out[i] = (fp - fm) / (2.0 * h);
+    }
+    return g(x);
+}
+
+std::vector<double> CountedProblem::g_rows(const linalg::Matrix& x) {
+    if (x.cols() != dim())
+        throw std::invalid_argument("g_rows: dimension mismatch");
+    std::vector<double> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) out[r] = g(x.row_span(r));
+    return out;
+}
+
+std::vector<double> CountedProblem::g_grad_rows(const linalg::Matrix& x,
+                                                linalg::Matrix& grad_out) {
+    if (x.cols() != dim())
+        throw std::invalid_argument("g_grad_rows: dimension mismatch");
+    grad_out = linalg::Matrix(x.rows(), x.cols());
+    std::vector<double> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        out[r] = g_grad(x.row_span(r), grad_out.row_span(r));
+    return out;
+}
+
+double log_error(double p_hat, double golden, double floor) {
+    if (!(golden > 0.0))
+        throw std::invalid_argument("log_error: golden must be positive");
+    const double clipped = std::max(p_hat, floor);
+    return std::abs(std::log(clipped) - std::log(golden));
+}
+
+}  // namespace nofis::estimators

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "rng/engine.hpp"
+
+namespace nofis::estimators {
+
+/// A rare-event problem F = (p, Ω) per Section 2 of the paper, with
+/// p = N(0, I_D) fixed (the standard process-variation model) and
+/// Ω = { x : g(x) <= 0 } described by the characteristic function g.
+///
+/// `g` stands in for an expensive circuit simulation; implementations in
+/// src/testcases back it with an MNA solve, a transfer-matrix propagation, a
+/// neural network, or a closed-form synthetic function.
+class RareEventProblem {
+public:
+    virtual ~RareEventProblem() = default;
+
+    virtual std::size_t dim() const noexcept = 0;
+
+    /// Characteristic function; g(x) <= 0 means failure (x ∈ Ω).
+    virtual double g(std::span<const double> x) const = 0;
+
+    /// ∂g/∂x. The default uses central finite differences on the underlying
+    /// model; overriders provide analytic or adjoint gradients. Returns
+    /// g(x).
+    ///
+    /// Call accounting: one (value, gradient) evaluation is counted as ONE
+    /// call, mirroring the paper's PyTorch setup where backward through the
+    /// simulation costs no additional simulator run.
+    virtual double g_grad(std::span<const double> x,
+                          std::span<double> grad_out) const;
+
+    /// Step used by the finite-difference fallback; override for models
+    /// with noisy or stiff responses.
+    virtual double fd_step() const noexcept { return 1e-5; }
+};
+
+/// Counting facade: every estimator routes evaluations through one of these
+/// so the "number of function calls" column of Table 1 is measured, not
+/// assumed.
+class CountedProblem {
+public:
+    explicit CountedProblem(const RareEventProblem& p) : p_(&p) {}
+
+    std::size_t dim() const noexcept { return p_->dim(); }
+
+    double g(std::span<const double> x) {
+        ++calls_;
+        return p_->g(x);
+    }
+
+    double g_grad(std::span<const double> x, std::span<double> grad_out) {
+        ++calls_;
+        return p_->g_grad(x, grad_out);
+    }
+
+    /// Evaluates g on every row of `x`.
+    std::vector<double> g_rows(const linalg::Matrix& x);
+
+    /// Evaluates g and its gradient on every row; gradients land in the
+    /// rows of `grad_out` (same shape as x).
+    std::vector<double> g_grad_rows(const linalg::Matrix& x,
+                                    linalg::Matrix& grad_out);
+
+    std::size_t calls() const noexcept { return calls_; }
+    void reset_calls() noexcept { calls_ = 0; }
+
+    const RareEventProblem& problem() const noexcept { return *p_; }
+
+private:
+    const RareEventProblem* p_;
+    std::size_t calls_ = 0;
+};
+
+/// Result of one estimator run.
+struct EstimateResult {
+    double p_hat = 0.0;       ///< estimated failure probability
+    std::size_t calls = 0;    ///< g-evaluations actually spent
+    bool failed = false;      ///< algorithm collapse ("—" entries in Table 1)
+    std::string detail;       ///< optional human-readable diagnostics
+};
+
+/// Common interface for the NOFIS estimator and the six baselines.
+class Estimator {
+public:
+    virtual ~Estimator() = default;
+    virtual std::string name() const = 0;
+    virtual EstimateResult estimate(const RareEventProblem& problem,
+                                    rng::Engine& eng) const = 0;
+};
+
+/// Table-1 error metric: |ln(max(p_hat, floor)) - ln(golden)|. The floor
+/// keeps zero estimates (common for MC at these budgets) finite; see
+/// EXPERIMENTS.md for calibration of the floor against the paper's MC rows.
+double log_error(double p_hat, double golden, double floor = 1e-10);
+
+}  // namespace nofis::estimators

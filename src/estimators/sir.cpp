@@ -1,0 +1,73 @@
+#include "estimators/sir.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/trainer.hpp"
+#include "rng/normal.hpp"
+
+namespace nofis::estimators {
+
+EstimateResult SirEstimator::estimate(const RareEventProblem& raw,
+                                      rng::Engine& eng) const {
+    CountedProblem problem(raw);
+    const std::size_t d = problem.dim();
+
+    // Labelled training set — this is the entire g-call budget.
+    const linalg::Matrix x =
+        rng::standard_normal_matrix(eng, cfg_.train_samples, d);
+    const std::vector<double> gv = problem.g_rows(x);
+
+    // Standardise targets so MSE training is well-scaled for g-ranges from
+    // O(1) (circuits) to O(1e4) (Rosenbrock).
+    double mean = 0.0;
+    for (double v : gv) mean += v;
+    mean /= static_cast<double>(gv.size());
+    double var = 0.0;
+    for (double v : gv) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(gv.size());
+    const double sd = std::sqrt(std::max(var, 1e-12));
+    linalg::Matrix y(gv.size(), 1);
+    for (std::size_t r = 0; r < gv.size(); ++r) y(r, 0) = (gv[r] - mean) / sd;
+
+    std::vector<std::size_t> layout;
+    layout.push_back(d);
+    for (auto h : cfg_.hidden) layout.push_back(h);
+    layout.push_back(1);
+    rng::Engine net_eng = eng.split();
+    nn::MLP net(layout, nn::Activation::kLeakyRelu, net_eng);
+    nn::TrainConfig tc;
+    // Cap the optimiser-step budget so giant training sets (the Cube row
+    // trains on 500K samples) do not dominate wall-clock; SIR's accuracy is
+    // surrogate-bias-limited long before it is optimisation-limited.
+    const std::size_t step_budget = 25000;
+    tc.epochs = std::clamp<std::size_t>(
+        step_budget * cfg_.batch / std::max<std::size_t>(x.rows(), 1),
+        8, cfg_.epochs);
+    tc.batch_size = cfg_.batch;
+    tc.learning_rate = cfg_.learning_rate;
+    nn::fit_regression(net, x, y, tc, eng);
+
+    // Surrogate-only sweep; ĝ(x) <= 0 <=> standardized prediction <=
+    // -mean/sd.
+    const double threshold = (0.0 - mean) / sd;
+    std::size_t hits = 0;
+    std::size_t remaining = cfg_.surrogate_evals;
+    const std::size_t chunk = 8192;
+    while (remaining > 0) {
+        const std::size_t n = std::min(remaining, chunk);
+        const linalg::Matrix probe = rng::standard_normal_matrix(eng, n, d);
+        const linalg::Matrix pred = net.predict(probe);
+        for (std::size_t r = 0; r < n; ++r)
+            if (pred(r, 0) <= threshold) ++hits;
+        remaining -= n;
+    }
+
+    EstimateResult res;
+    res.p_hat = static_cast<double>(hits) /
+                static_cast<double>(cfg_.surrogate_evals);
+    res.calls = problem.calls();
+    return res;
+}
+
+}  // namespace nofis::estimators

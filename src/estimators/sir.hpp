@@ -1,0 +1,35 @@
+#pragma once
+
+#include "estimators/problem.hpp"
+
+namespace nofis::estimators {
+
+/// SIR — "simple regression" baseline of the paper: spend the whole g-call
+/// budget on i.i.d. training pairs (x, g(x)), fit an MLP surrogate ĝ, then
+/// estimate P_r as the fraction of a huge surrogate-only Monte Carlo sweep
+/// with ĝ(x) <= 0. All bias comes from the surrogate; no variance reduction.
+class SirEstimator final : public Estimator {
+public:
+    struct Config {
+        std::size_t train_samples = 50000;
+        /// Surrogate-only evaluations (free of g-calls). The paper quotes
+        /// 1e9; we default to 2e6 — the surrogate bias dominates long before
+        /// sweep noise does (see EXPERIMENTS.md).
+        std::size_t surrogate_evals = 2000000;
+        std::vector<std::size_t> hidden = {64, 64};
+        std::size_t epochs = 60;
+        std::size_t batch = 128;
+        double learning_rate = 2e-3;
+    };
+
+    explicit SirEstimator(Config cfg) : cfg_(std::move(cfg)) {}
+
+    std::string name() const override { return "SIR"; }
+    EstimateResult estimate(const RareEventProblem& problem,
+                            rng::Engine& eng) const override;
+
+private:
+    Config cfg_;
+};
+
+}  // namespace nofis::estimators

@@ -1,0 +1,66 @@
+#include "estimators/sss.hpp"
+
+#include <cmath>
+
+#include "linalg/least_squares.hpp"
+#include "rng/normal.hpp"
+
+namespace nofis::estimators {
+
+EstimateResult ScaledSigmaEstimator::estimate(const RareEventProblem& raw,
+                                              rng::Engine& eng) const {
+    CountedProblem problem(raw);
+    const std::size_t d = problem.dim();
+    const std::size_t per_sigma =
+        std::max<std::size_t>(1, cfg_.total_samples / cfg_.sigmas.size());
+
+    // Measure P(s) at each inflated sigma.
+    std::vector<double> usable_log_s;
+    std::vector<double> usable_inv_s2;
+    std::vector<double> usable_log_p;
+    std::vector<double> usable_weight;
+    for (double s : cfg_.sigmas) {
+        std::size_t hits = 0;
+        linalg::Matrix x = rng::standard_normal_matrix(eng, per_sigma, d);
+        x *= s;
+        for (double gv : problem.g_rows(x))
+            if (gv <= 0.0) ++hits;
+        if (hits == 0) continue;  // no information at this sigma
+        const double p = static_cast<double>(hits) /
+                         static_cast<double>(per_sigma);
+        usable_log_s.push_back(std::log(s));
+        usable_inv_s2.push_back(1.0 / (s * s));
+        usable_log_p.push_back(std::log(p));
+        // Delta-method weight: Var[log p̂] ≈ (1-p)/(n·p); weight = 1/Var.
+        usable_weight.push_back(static_cast<double>(per_sigma) * p /
+                                std::max(1.0 - p, 1e-6));
+    }
+
+    EstimateResult res;
+    res.calls = problem.calls();
+    if (usable_log_p.size() < 3) {
+        res.failed = true;
+        res.detail = "fewer than 3 sigmas produced failures";
+        return res;
+    }
+
+    // Design matrix [1, log s, -1/s²] -> coefficients (α, β, γ).
+    linalg::Matrix design(usable_log_p.size(), 3);
+    for (std::size_t i = 0; i < usable_log_p.size(); ++i) {
+        design(i, 0) = 1.0;
+        design(i, 1) = usable_log_s[i];
+        design(i, 2) = -usable_inv_s2[i];
+    }
+    const auto coef = linalg::weighted_least_squares(
+        design, usable_log_p, usable_weight, 1e-9);
+    const double log_p1 = coef[0] - coef[2];  // s = 1
+    res.p_hat = std::exp(log_p1);
+    if (!std::isfinite(res.p_hat)) {
+        res.failed = true;
+        res.p_hat = 0.0;
+        res.detail = "extrapolation diverged";
+    }
+    return res;
+}
+
+}  // namespace nofis::estimators

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "estimators/problem.hpp"
+
+namespace nofis::estimators {
+
+/// Scaled-sigma sampling (Sun et al., TCAD 2015).
+///
+/// Samples x ~ N(0, s²I) at several inflated sigmas s > 1 where failures are
+/// observable, fits the asymptotic model
+///     log P(s) = α + β·log s − γ / s²
+/// by weighted least squares, and extrapolates to the nominal sigma s = 1:
+/// P_r ≈ exp(α − γ). The γ/s² term captures the exp(−‖x*‖²/(2s²)) tail
+/// factor of the dominant failure point; β·log s the polynomial prefactor.
+class ScaledSigmaEstimator final : public Estimator {
+public:
+    struct Config {
+        std::vector<double> sigmas = {1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
+        std::size_t total_samples = 40000;  ///< split evenly across sigmas
+    };
+
+    explicit ScaledSigmaEstimator(Config cfg) : cfg_(std::move(cfg)) {}
+
+    std::string name() const override { return "SSS"; }
+    EstimateResult estimate(const RareEventProblem& problem,
+                            rng::Engine& eng) const override;
+
+private:
+    Config cfg_;
+};
+
+}  // namespace nofis::estimators

@@ -1,0 +1,162 @@
+#include "estimators/suc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/trainer.hpp"
+#include "rng/normal.hpp"
+
+namespace nofis::estimators {
+
+namespace {
+
+/// Trains a fresh level-membership classifier on (x, 1[g <= level]).
+nn::MLP train_level_classifier(
+    const linalg::Matrix& x, const std::vector<double>& gv, double level,
+    const SubsetClassificationEstimator::Config& cfg, rng::Engine& eng) {
+    linalg::Matrix labels(x.rows(), 1);
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        labels(r, 0) = gv[r] <= level ? 1.0 : 0.0;
+    std::vector<std::size_t> layout;
+    layout.push_back(x.cols());
+    for (auto h : cfg.hidden) layout.push_back(h);
+    layout.push_back(1);
+    rng::Engine net_eng = eng.split();
+    nn::MLP net(layout, nn::Activation::kLeakyRelu, net_eng);
+    nn::TrainConfig tc;
+    // Same step-budget cap as SIR: per-level classifier quality saturates
+    // well before huge populations finish a full epoch schedule.
+    const std::size_t step_budget = 8000;
+    tc.epochs = std::clamp<std::size_t>(
+        step_budget * 128 / std::max<std::size_t>(x.rows(), 1), 8,
+        cfg.classifier_epochs);
+    tc.batch_size = 128;
+    tc.learning_rate = cfg.learning_rate;
+    nn::fit_classifier(net, x, labels, tc, eng);
+    return net;
+}
+
+}  // namespace
+
+EstimateResult SubsetClassificationEstimator::estimate(
+    const RareEventProblem& raw, rng::Engine& eng) const {
+    CountedProblem problem(raw);
+    const std::size_t n = cfg_.samples_per_level;
+    const std::size_t d = problem.dim();
+    const auto quota = static_cast<std::size_t>(
+        std::max(1.0, cfg_.p0 * static_cast<double>(n)));
+
+    // Level 0: plain Monte Carlo, fully labelled.
+    linalg::Matrix x = rng::standard_normal_matrix(eng, n, d);
+    std::vector<double> gv = problem.g_rows(x);
+
+    double log_p = 0.0;
+    for (std::size_t level_idx = 0; level_idx < cfg_.max_levels; ++level_idx) {
+        std::size_t hits = 0;
+        for (double v : gv)
+            if (v <= 0.0) ++hits;
+        if (hits >= quota) {
+            EstimateResult res;
+            res.p_hat = std::exp(log_p) * static_cast<double>(hits) /
+                        static_cast<double>(n);
+            res.calls = problem.calls();
+            return res;
+        }
+
+        // Intermediate threshold at the p0-quantile.
+        std::vector<double> sorted(gv);
+        std::nth_element(
+            sorted.begin(),
+            sorted.begin() + static_cast<std::ptrdiff_t>(quota - 1),
+            sorted.end());
+        const double level = std::max(sorted[quota - 1], 0.0);
+        log_p += std::log(cfg_.p0);
+
+        // Classifier for the current level set, trained on everything we
+        // just labelled.
+        nn::MLP clf = train_level_classifier(x, gv, level, cfg_, eng);
+
+        // Survivor pool seeds the random-walk candidate generator.
+        std::vector<std::size_t> seeds;
+        for (std::size_t r = 0; r < n; ++r)
+            if (gv[r] <= level) seeds.push_back(r);
+        if (seeds.empty()) {
+            EstimateResult res;
+            res.failed = true;
+            res.detail = "no survivors at intermediate level";
+            res.calls = problem.calls();
+            return res;
+        }
+
+        // Classifier-filtered proposals (no g-calls in this loop).
+        linalg::Matrix cand(n, d);
+        std::size_t produced = 0;
+        std::size_t cursor = 0;
+        linalg::Matrix probe(1, d);
+        while (produced < n) {
+            const std::size_t s = seeds[cursor % seeds.size()];
+            ++cursor;
+            bool placed = false;
+            for (std::size_t attempt = 0;
+                 attempt < cfg_.max_filter_tries && !placed; ++attempt) {
+                for (std::size_t c = 0; c < d; ++c)
+                    probe(0, c) = x(s, c) + cfg_.proposal_spread *
+                                                rng::standard_normal(eng);
+                // Metropolis accept on the Gaussian prior so candidates do
+                // not drift into zero-density territory.
+                double log_ratio = 0.0;
+                for (std::size_t c = 0; c < d; ++c)
+                    log_ratio += 0.5 * (x(s, c) * x(s, c) -
+                                        probe(0, c) * probe(0, c));
+                if (std::log(std::max(eng.uniform(), 1e-300)) > log_ratio)
+                    continue;
+                if (clf.predict(probe)(0, 0) <= 0.0) continue;  // logit <= 0
+                placed = true;
+            }
+            if (!placed)
+                // Fall back to re-using the seed itself; keeps the level
+                // population full even with a poor classifier.
+                for (std::size_t c = 0; c < d; ++c) probe(0, c) = x(s, c);
+            for (std::size_t c = 0; c < d; ++c) cand(produced, c) = probe(0, c);
+            ++produced;
+        }
+
+        // Label the filtered candidates (the level's g budget) and keep only
+        // the ones truly inside the level set for the conditional estimate.
+        const std::vector<double> cand_g = problem.g_rows(cand);
+        std::vector<std::size_t> inside;
+        for (std::size_t r = 0; r < n; ++r)
+            if (cand_g[r] <= level) inside.push_back(r);
+        if (inside.size() < 2 * quota) {
+            // The classifier filter lost the level set; collapse like the
+            // paper's "—" entries rather than returning garbage.
+            EstimateResult res;
+            res.failed = true;
+            res.detail = "classifier filter precision collapsed";
+            res.calls = problem.calls();
+            res.p_hat = 0.0;
+            return res;
+        }
+
+        // Next-level population: the truly-inside candidates (resampled up
+        // to n rows so the loop invariant holds).
+        linalg::Matrix next_x(n, d);
+        std::vector<double> next_g(n);
+        for (std::size_t r = 0; r < n; ++r) {
+            const std::size_t src = inside[r % inside.size()];
+            for (std::size_t c = 0; c < d; ++c) next_x(r, c) = cand(src, c);
+            next_g[r] = cand_g[src];
+        }
+        x = std::move(next_x);
+        gv = std::move(next_g);
+    }
+
+    EstimateResult res;
+    res.failed = true;
+    res.detail = "max_levels reached";
+    res.calls = problem.calls();
+    res.p_hat = 0.0;
+    return res;
+}
+
+}  // namespace nofis::estimators

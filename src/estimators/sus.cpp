@@ -1,0 +1,147 @@
+#include "estimators/sus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "rng/normal.hpp"
+
+namespace nofis::estimators {
+
+namespace {
+
+/// One modified-Metropolis transition targeting p(x)·1[g(x) <= level].
+/// Each coordinate is perturbed and accepted against the N(0,1) marginal;
+/// the composite candidate is then accepted only if it stays in the level
+/// set (one g call). Returns true when the chain moved.
+bool mm_step(CountedProblem& problem, rng::Engine& eng, double level,
+             double spread, std::vector<double>& x, double& gx) {
+    std::vector<double> cand(x);
+    bool any_moved = false;
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+        const double prop = cand[i] + spread * rng::standard_normal(eng);
+        // Accept ratio of the standard-normal marginal.
+        const double log_ratio = 0.5 * (cand[i] * cand[i] - prop * prop);
+        if (std::log(std::max(eng.uniform(), 1e-300)) < log_ratio) {
+            cand[i] = prop;
+            any_moved = true;
+        }
+    }
+    if (!any_moved) return false;
+    const double gc = problem.g(cand);
+    if (gc <= level) {
+        x = std::move(cand);
+        gx = gc;
+        return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+EstimateResult SubsetSimulationEstimator::estimate(
+    const RareEventProblem& raw, rng::Engine& eng) const {
+    CountedProblem problem(raw);
+    const std::size_t n = cfg_.samples_per_level;
+    const std::size_t d = problem.dim();
+
+    // Level 0: i.i.d. Monte Carlo.
+    linalg::Matrix x0 = rng::standard_normal_matrix(eng, n, d);
+    std::vector<std::vector<double>> chain(n, std::vector<double>(d));
+    std::vector<double> gvals(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        const auto row = x0.row_span(r);
+        std::copy(row.begin(), row.end(), chain[r].begin());
+        gvals[r] = problem.g(chain[r]);
+    }
+
+    double log_p = 0.0;
+    const auto seeds_per_level =
+        static_cast<std::size_t>(std::max(1.0, cfg_.p0 * static_cast<double>(n)));
+
+    for (std::size_t level_idx = 0;; ++level_idx) {
+        // Direct hit count at the final threshold 0.
+        std::size_t hits = 0;
+        for (double gv : gvals)
+            if (gv <= 0.0) ++hits;
+        if (hits >= seeds_per_level || level_idx + 1 >= cfg_.max_levels) {
+            EstimateResult res;
+            if (hits == 0 && level_idx + 1 >= cfg_.max_levels) {
+                res.failed = true;
+                res.p_hat = 0.0;
+                res.detail = "max_levels reached without failures";
+            } else {
+                res.p_hat = std::exp(log_p) * static_cast<double>(hits) /
+                            static_cast<double>(n);
+            }
+            res.calls = problem.calls();
+            return res;
+        }
+
+        // Intermediate threshold: p0-quantile of the current g population.
+        std::vector<double> sorted(gvals);
+        std::nth_element(sorted.begin(),
+                         sorted.begin() + static_cast<std::ptrdiff_t>(
+                                              seeds_per_level - 1),
+                         sorted.end());
+        double level = sorted[seeds_per_level - 1];
+        if (level <= 0.0) level = 0.0;
+        log_p += std::log(cfg_.p0);
+
+        // Seeds: survivors below the threshold.
+        std::vector<std::size_t> seed_idx;
+        for (std::size_t r = 0; r < n; ++r)
+            if (gvals[r] <= level) seed_idx.push_back(r);
+        if (seed_idx.empty()) {
+            EstimateResult res;
+            res.failed = true;
+            res.p_hat = 0.0;
+            res.calls = problem.calls();
+            res.detail = "no survivors at intermediate level";
+            return res;
+        }
+
+        // Grow chains from the seeds until the level population is refilled.
+        std::vector<std::vector<double>> next_chain;
+        std::vector<double> next_g;
+        next_chain.reserve(n);
+        next_g.reserve(n);
+        std::size_t cursor = 0;
+        while (next_chain.size() < n) {
+            const std::size_t s = seed_idx[cursor % seed_idx.size()];
+            ++cursor;
+            std::vector<double> x = chain[s];
+            double gx = gvals[s];
+            mm_step(problem, eng, level, cfg_.proposal_spread, x, gx);
+            next_chain.push_back(x);
+            next_g.push_back(gx);
+            // Each seed's chain contributes several correlated states.
+            const std::size_t burst =
+                std::min<std::size_t>(n - next_chain.size(),
+                                      static_cast<std::size_t>(1.0 / cfg_.p0) -
+                                          1);
+            for (std::size_t b = 0; b < burst; ++b) {
+                mm_step(problem, eng, level, cfg_.proposal_spread, x, gx);
+                next_chain.push_back(x);
+                next_g.push_back(gx);
+            }
+        }
+        chain = std::move(next_chain);
+        gvals = std::move(next_g);
+
+        if (level == 0.0) {
+            // The quantile already reached the failure threshold: the
+            // current population is conditioned on Ω directly.
+            std::size_t final_hits = 0;
+            for (double gv : gvals)
+                if (gv <= 0.0) ++final_hits;
+            EstimateResult res;
+            res.p_hat = std::exp(log_p) * static_cast<double>(final_hits) /
+                        static_cast<double>(n);
+            res.calls = problem.calls();
+            return res;
+        }
+    }
+}
+
+}  // namespace nofis::estimators

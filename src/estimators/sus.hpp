@@ -1,0 +1,33 @@
+#pragma once
+
+#include "estimators/problem.hpp"
+
+namespace nofis::estimators {
+
+/// Subset simulation (Au & Beck 2001; applied to circuits by Sun & Li 2014).
+///
+/// Writes P[Ω] = Π_m P[Ω_m | Ω_{m-1}] over adaptively-chosen intermediate
+/// thresholds (the p0-quantile of each level's g-values) and samples each
+/// conditional with component-wise modified-Metropolis MCMC seeded by the
+/// previous level's survivors.
+class SubsetSimulationEstimator final : public Estimator {
+public:
+    struct Config {
+        std::size_t samples_per_level = 2000;
+        double p0 = 0.1;               ///< conditional level probability
+        std::size_t max_levels = 12;   ///< hard stop (failure -> "—")
+        /// Modified-Metropolis proposal: component-wise N(x_i, spread²).
+        double proposal_spread = 1.0;
+    };
+
+    explicit SubsetSimulationEstimator(Config cfg) : cfg_(cfg) {}
+
+    std::string name() const override { return "SUS"; }
+    EstimateResult estimate(const RareEventProblem& problem,
+                            rng::Engine& eng) const override;
+
+private:
+    Config cfg_;
+};
+
+}  // namespace nofis::estimators

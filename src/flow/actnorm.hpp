@@ -1,0 +1,38 @@
+#pragma once
+
+#include "flow/layer.hpp"
+
+namespace nofis::flow {
+
+/// Activation normalisation (Kingma & Dhariwal, Glow 2018): a trainable
+/// per-dimension affine map y = x ⊙ exp(s) + b with
+/// log|det J| = Σ_d s_d (identical for every sample). Initialised to the
+/// identity; one ActNorm in front of each coupling lets the stack rescale
+/// globally without spending coupling capacity on it.
+class ActNorm final : public FlowLayer {
+public:
+    explicit ActNorm(std::size_t dim);
+
+    std::size_t dim() const noexcept override { return dim_; }
+
+    ForwardVar forward(const autodiff::Var& x) const override;
+    linalg::Matrix forward_values(const linalg::Matrix& x,
+                                  std::vector<double>& log_det) const override;
+    linalg::Matrix inverse_values(const linalg::Matrix& y,
+                                  std::vector<double>& log_det) const override;
+
+    std::vector<autodiff::Var> params() const override {
+        return {log_scale_, shift_};
+    }
+    void set_trainable(bool trainable) override {
+        log_scale_.set_requires_grad(trainable);
+        shift_.set_requires_grad(trainable);
+    }
+
+private:
+    std::size_t dim_;
+    autodiff::Var log_scale_;  ///< 1 x dim
+    autodiff::Var shift_;      ///< 1 x dim
+};
+
+}  // namespace nofis::flow

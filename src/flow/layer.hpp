@@ -1,0 +1,40 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "autodiff/var.hpp"
+
+namespace nofis::flow {
+
+/// Interface of one invertible flow transformation f_i (Eq. 4 of the
+/// paper): a differentiable forward for training, cheap value-only forward
+/// for sampling, and an exact inverse for density evaluation. Implemented
+/// by AffineCoupling (RealNVP), AdditiveCoupling (NICE), and ActNorm.
+class FlowLayer {
+public:
+    virtual ~FlowLayer() = default;
+
+    virtual std::size_t dim() const noexcept = 0;
+
+    struct ForwardVar {
+        autodiff::Var y;
+        autodiff::Var log_det;  ///< per-sample log|det J| (n x 1)
+    };
+    /// Graph forward (training path).
+    virtual ForwardVar forward(const autodiff::Var& x) const = 0;
+
+    /// Value-only forward; adds per-row log|det J| into `log_det`.
+    virtual linalg::Matrix forward_values(
+        const linalg::Matrix& x, std::vector<double>& log_det) const = 0;
+
+    /// Exact inverse; adds the *forward* log|det J| at the reconstructed
+    /// input into `log_det`.
+    virtual linalg::Matrix inverse_values(
+        const linalg::Matrix& y, std::vector<double>& log_det) const = 0;
+
+    virtual std::vector<autodiff::Var> params() const = 0;
+    virtual void set_trainable(bool trainable) = 0;
+};
+
+}  // namespace nofis::flow

@@ -1,0 +1,95 @@
+#include "flow/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace nofis::flow {
+
+namespace {
+constexpr const char* kMagic = "nofisflow-v1";
+
+[[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("flow serialisation: " + what);
+}
+}  // namespace
+
+void save_stack(const CouplingStack& stack, std::ostream& os) {
+    const StackConfig& cfg = stack.config();
+    os << kMagic << '\n';
+    os << cfg.dim << ' ' << cfg.num_blocks << ' ' << cfg.layers_per_block
+       << ' ' << cfg.scale_cap << ' '
+       << (cfg.coupling == CouplingKind::kAffine ? "affine" : "additive")
+       << ' ' << (cfg.use_actnorm ? 1 : 0) << '\n';
+    os << cfg.hidden.size();
+    for (auto h : cfg.hidden) os << ' ' << h;
+    os << '\n';
+
+    const auto params = stack.params();
+    os << params.size() << '\n';
+    os << std::setprecision(17);
+    for (const auto& p : params) {
+        const auto& m = p.value();
+        os << m.rows() << ' ' << m.cols();
+        for (double v : m.flat()) os << ' ' << v;
+        os << '\n';
+    }
+    if (!os) fail("write error");
+}
+
+void save_stack(const CouplingStack& stack, const std::string& path) {
+    std::ofstream os(path);
+    if (!os) fail("cannot open '" + path + "' for writing");
+    save_stack(stack, os);
+}
+
+CouplingStack load_stack(std::istream& is) {
+    std::string magic;
+    is >> magic;
+    if (magic != kMagic) fail("bad magic (expected " + std::string(kMagic) + ")");
+
+    StackConfig cfg;
+    std::string kind;
+    int actnorm = 0;
+    is >> cfg.dim >> cfg.num_blocks >> cfg.layers_per_block >>
+        cfg.scale_cap >> kind >> actnorm;
+    cfg.coupling =
+        kind == "affine" ? CouplingKind::kAffine : CouplingKind::kAdditive;
+    cfg.use_actnorm = actnorm != 0;
+    std::size_t hidden_count = 0;
+    is >> hidden_count;
+    cfg.hidden.resize(hidden_count);
+    for (auto& h : cfg.hidden) is >> h;
+    if (!is) fail("truncated header");
+
+    // Architecture is reconstructed, then every parameter is overwritten,
+    // so the init engine's seed is irrelevant.
+    rng::Engine dummy(0);
+    CouplingStack stack(cfg, dummy);
+
+    std::size_t param_count = 0;
+    is >> param_count;
+    auto params = stack.params();
+    if (param_count != params.size())
+        fail("parameter count mismatch (file " + std::to_string(param_count) +
+             ", architecture " + std::to_string(params.size()) + ")");
+    for (auto& p : params) {
+        std::size_t rows = 0;
+        std::size_t cols = 0;
+        is >> rows >> cols;
+        if (rows != p.value().rows() || cols != p.value().cols())
+            fail("parameter shape mismatch");
+        for (double& v : p.mutable_value().flat()) is >> v;
+    }
+    if (!is) fail("truncated parameters");
+    return stack;
+}
+
+CouplingStack load_stack(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) fail("cannot open '" + path + "' for reading");
+    return load_stack(is);
+}
+
+}  // namespace nofis::flow

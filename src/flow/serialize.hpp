@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "flow/coupling_stack.hpp"
+
+namespace nofis::flow {
+
+/// Text serialisation of a trained coupling stack ("*.nofisflow"): the
+/// StackConfig header followed by every parameter matrix in layer order,
+/// at full double precision. A saved proposal can be reloaded in a later
+/// process and used for additional importance-sampling draws without
+/// retraining (see NofisEstimator::importance_estimate and the CLI's
+/// train/reuse commands).
+void save_stack(const CouplingStack& stack, std::ostream& os);
+void save_stack(const CouplingStack& stack, const std::string& path);
+
+/// Loads a stack saved by save_stack. Throws std::runtime_error on a
+/// malformed or version-mismatched file.
+CouplingStack load_stack(std::istream& is);
+CouplingStack load_stack(const std::string& path);
+
+}  // namespace nofis::flow

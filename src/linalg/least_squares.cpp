@@ -1,0 +1,44 @@
+#include "linalg/least_squares.hpp"
+
+#include <stdexcept>
+
+#include "linalg/cholesky.hpp"
+
+namespace nofis::linalg {
+
+std::vector<double> least_squares(const Matrix& a, std::span<const double> b,
+                                  double ridge) {
+    std::vector<double> unit(b.size(), 1.0);
+    return weighted_least_squares(a, b, unit, ridge);
+}
+
+std::vector<double> weighted_least_squares(const Matrix& a,
+                                           std::span<const double> b,
+                                           std::span<const double> w,
+                                           double ridge) {
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    if (b.size() != m || w.size() != m)
+        throw std::invalid_argument("weighted_least_squares: size mismatch");
+    if (m < n)
+        throw std::invalid_argument(
+            "weighted_least_squares: underdetermined system");
+
+    Matrix ata(n, n);
+    std::vector<double> atb(n, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+        const auto row = a.row_span(i);
+        for (std::size_t p = 0; p < n; ++p) {
+            const double wp = w[i] * row[p];
+            atb[p] += wp * b[i];
+            for (std::size_t q = p; q < n; ++q) ata(p, q) += wp * row[q];
+        }
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+        ata(p, p) += ridge;
+        for (std::size_t q = p + 1; q < n; ++q) ata(q, p) = ata(p, q);
+    }
+    return Cholesky(ata).solve(atb);
+}
+
+}  // namespace nofis::linalg

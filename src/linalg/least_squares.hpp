@@ -1,0 +1,22 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace nofis::linalg {
+
+/// Solves min_x ||A x - b||_2 via the normal equations (AᵀA + ridge·I) x = Aᵀb.
+///
+/// `ridge` defaults to a tiny Tikhonov term that keeps nearly-collinear
+/// design matrices (as arise in the SSS log-probability fit) well posed.
+std::vector<double> least_squares(const Matrix& a, std::span<const double> b,
+                                  double ridge = 1e-12);
+
+/// Weighted variant: minimises Σ w_i (A_i·x - b_i)^2.
+std::vector<double> weighted_least_squares(const Matrix& a,
+                                           std::span<const double> b,
+                                           std::span<const double> w,
+                                           double ridge = 1e-12);
+
+}  // namespace nofis::linalg

@@ -1,0 +1,150 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace nofis::linalg {
+
+LuDecomposition::LuDecomposition(const Matrix& a)
+    : n_(a.rows()), lu_(a), piv_(a.rows()) {
+    if (a.rows() != a.cols())
+        throw std::invalid_argument("LuDecomposition: matrix must be square");
+    std::iota(piv_.begin(), piv_.end(), std::size_t{0});
+
+    for (std::size_t k = 0; k < n_; ++k) {
+        // Partial pivot: largest |value| in column k at or below the diagonal.
+        std::size_t p = k;
+        double best = std::abs(lu_(k, k));
+        for (std::size_t i = k + 1; i < n_; ++i) {
+            const double v = std::abs(lu_(i, k));
+            if (v > best) {
+                best = v;
+                p = i;
+            }
+        }
+        if (best < std::numeric_limits<double>::min() * 16)
+            throw std::runtime_error("LuDecomposition: singular matrix");
+        if (p != k) {
+            for (std::size_t c = 0; c < n_; ++c)
+                std::swap(lu_(k, c), lu_(p, c));
+            std::swap(piv_[k], piv_[p]);
+            pivot_sign_ = -pivot_sign_;
+        }
+        const double inv_pivot = 1.0 / lu_(k, k);
+        for (std::size_t i = k + 1; i < n_; ++i) {
+            const double m = lu_(i, k) * inv_pivot;
+            lu_(i, k) = m;
+            if (m == 0.0) continue;
+            for (std::size_t c = k + 1; c < n_; ++c) lu_(i, c) -= m * lu_(k, c);
+        }
+    }
+}
+
+std::vector<double> LuDecomposition::solve(std::span<const double> b) const {
+    if (b.size() != n_)
+        throw std::invalid_argument("LuDecomposition::solve: bad rhs size");
+    std::vector<double> x(n_);
+    // Apply permutation, then forward substitution (L has unit diagonal).
+    for (std::size_t i = 0; i < n_; ++i) x[i] = b[piv_[i]];
+    for (std::size_t i = 1; i < n_; ++i) {
+        double s = x[i];
+        for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+        x[i] = s;
+    }
+    // Back substitution with U.
+    for (std::size_t ii = n_; ii-- > 0;) {
+        double s = x[ii];
+        for (std::size_t j = ii + 1; j < n_; ++j) s -= lu_(ii, j) * x[j];
+        x[ii] = s / lu_(ii, ii);
+    }
+    return x;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+    if (b.rows() != n_)
+        throw std::invalid_argument("LuDecomposition::solve: bad rhs rows");
+    Matrix x(n_, b.cols());
+    std::vector<double> col(n_);
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+        for (std::size_t r = 0; r < n_; ++r) col[r] = b(r, c);
+        const auto xc = solve(col);
+        for (std::size_t r = 0; r < n_; ++r) x(r, c) = xc[r];
+    }
+    return x;
+}
+
+double LuDecomposition::determinant() const noexcept {
+    double d = static_cast<double>(pivot_sign_);
+    for (std::size_t i = 0; i < n_; ++i) d *= lu_(i, i);
+    return d;
+}
+
+double LuDecomposition::log_abs_determinant() const noexcept {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) s += std::log(std::abs(lu_(i, i)));
+    return s;
+}
+
+ComplexLu::ComplexLu(std::vector<Complex> a, std::size_t n)
+    : n_(n), lu_(std::move(a)), piv_(n) {
+    if (lu_.size() != n * n)
+        throw std::invalid_argument("ComplexLu: data size != n*n");
+    std::iota(piv_.begin(), piv_.end(), std::size_t{0});
+    auto at = [this](std::size_t r, std::size_t c) -> Complex& {
+        return lu_[r * n_ + c];
+    };
+    for (std::size_t k = 0; k < n_; ++k) {
+        std::size_t p = k;
+        double best = std::abs(at(k, k));
+        for (std::size_t i = k + 1; i < n_; ++i) {
+            const double v = std::abs(at(i, k));
+            if (v > best) {
+                best = v;
+                p = i;
+            }
+        }
+        if (best < std::numeric_limits<double>::min() * 16)
+            throw std::runtime_error("ComplexLu: singular matrix");
+        if (p != k) {
+            for (std::size_t c = 0; c < n_; ++c) std::swap(at(k, c), at(p, c));
+            std::swap(piv_[k], piv_[p]);
+        }
+        const Complex inv_pivot = 1.0 / at(k, k);
+        for (std::size_t i = k + 1; i < n_; ++i) {
+            const Complex m = at(i, k) * inv_pivot;
+            at(i, k) = m;
+            for (std::size_t c = k + 1; c < n_; ++c) at(i, c) -= m * at(k, c);
+        }
+    }
+}
+
+std::vector<ComplexLu::Complex> ComplexLu::solve(
+    std::span<const Complex> b) const {
+    if (b.size() != n_)
+        throw std::invalid_argument("ComplexLu::solve: bad rhs size");
+    std::vector<Complex> x(n_);
+    for (std::size_t i = 0; i < n_; ++i) x[i] = b[piv_[i]];
+    for (std::size_t i = 1; i < n_; ++i) {
+        Complex s = x[i];
+        for (std::size_t j = 0; j < i; ++j) s -= lu_[i * n_ + j] * x[j];
+        x[i] = s;
+    }
+    for (std::size_t ii = n_; ii-- > 0;) {
+        Complex s = x[ii];
+        for (std::size_t j = ii + 1; j < n_; ++j) s -= lu_[ii * n_ + j] * x[j];
+        x[ii] = s / lu_[ii * n_ + ii];
+    }
+    return x;
+}
+
+std::vector<double> solve(const Matrix& a, std::span<const double> b) {
+    return LuDecomposition(a).solve(b);
+}
+
+Matrix inverse(const Matrix& a) {
+    return LuDecomposition(a).solve(Matrix::identity(a.rows()));
+}
+
+}  // namespace nofis::linalg

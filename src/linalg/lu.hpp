@@ -1,0 +1,67 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace nofis::linalg {
+
+/// LU decomposition with partial pivoting of a square real matrix.
+///
+/// Factors P·A = L·U once; `solve` then back-substitutes in O(n^2) per
+/// right-hand side. Used by the MNA DC solver, the flow log-det tests, and
+/// the SSS least-squares fit.
+class LuDecomposition {
+public:
+    /// Throws std::invalid_argument for non-square input and
+    /// std::runtime_error when the matrix is numerically singular.
+    explicit LuDecomposition(const Matrix& a);
+
+    std::size_t dim() const noexcept { return n_; }
+
+    /// Solves A x = b for a single right-hand side (b.size() == n).
+    std::vector<double> solve(std::span<const double> b) const;
+
+    /// Solves A X = B column-wise.
+    Matrix solve(const Matrix& b) const;
+
+    /// Determinant of A (sign-corrected for row swaps).
+    double determinant() const noexcept;
+
+    /// log|det A|; -inf when singular-to-working-precision.
+    double log_abs_determinant() const noexcept;
+
+private:
+    std::size_t n_ = 0;
+    Matrix lu_;                  // packed L (unit diagonal) and U
+    std::vector<std::size_t> piv_;
+    int pivot_sign_ = 1;
+};
+
+/// Dense complex LU with partial pivoting, used by the AC (frequency-domain)
+/// circuit analysis where the MNA matrix is G + jωC.
+class ComplexLu {
+public:
+    using Complex = std::complex<double>;
+
+    /// `a` is a flattened row-major n x n complex matrix.
+    ComplexLu(std::vector<Complex> a, std::size_t n);
+
+    std::size_t dim() const noexcept { return n_; }
+
+    std::vector<Complex> solve(std::span<const Complex> b) const;
+
+private:
+    std::size_t n_ = 0;
+    std::vector<Complex> lu_;
+    std::vector<std::size_t> piv_;
+};
+
+/// Convenience one-shot solve of A x = b.
+std::vector<double> solve(const Matrix& a, std::span<const double> b);
+
+/// Inverse via LU; prefer `solve` in hot paths.
+Matrix inverse(const Matrix& a);
+
+}  // namespace nofis::linalg

@@ -1,0 +1,30 @@
+#include "nn/loss.hpp"
+
+#include <stdexcept>
+
+namespace nofis::nn {
+
+using autodiff::Var;
+
+Var mse_loss(const Var& pred, const linalg::Matrix& target) {
+    if (pred.rows() != target.rows() || pred.cols() != target.cols())
+        throw std::invalid_argument("mse_loss: shape mismatch");
+    Var diff = autodiff::sub(pred, Var(target));
+    return autodiff::mean(autodiff::square_v(diff));
+}
+
+Var bce_with_logits_loss(const Var& logits, const linalg::Matrix& labels) {
+    if (logits.rows() != labels.rows() || logits.cols() != labels.cols())
+        throw std::invalid_argument("bce_with_logits_loss: shape mismatch");
+    // max(z,0) - z*y + softplus(-|z|)
+    Var relu_z = autodiff::relu_v(logits);
+    Var zy = autodiff::hadamard_const(logits, labels);
+    // softplus(-|z|) = log(1 + e^{-|z|}): compute via softplus on -|z|.
+    // -|z| = min(z, -z) = -relu(z) - relu(-z).
+    Var abs_z = autodiff::add(relu_z, autodiff::relu_v(autodiff::neg(logits)));
+    Var stable = autodiff::softplus_v(autodiff::neg(abs_z));
+    Var per_elem = autodiff::add(autodiff::sub(relu_z, zy), stable);
+    return autodiff::mean(per_elem);
+}
+
+}  // namespace nofis::nn

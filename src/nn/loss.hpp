@@ -1,0 +1,17 @@
+#pragma once
+
+#include "autodiff/ops.hpp"
+#include "autodiff/var.hpp"
+
+namespace nofis::nn {
+
+/// Mean squared error between prediction graph `pred` and constant targets.
+autodiff::Var mse_loss(const autodiff::Var& pred,
+                       const linalg::Matrix& target);
+
+/// Numerically-stable binary cross-entropy on raw logits against 0/1 labels:
+/// mean( max(z,0) - z*y + log(1+e^{-|z|}) ).
+autodiff::Var bce_with_logits_loss(const autodiff::Var& logits,
+                                   const linalg::Matrix& labels);
+
+}  // namespace nofis::nn

@@ -1,0 +1,61 @@
+#include "nn/mlp.hpp"
+
+#include <stdexcept>
+
+namespace nofis::nn {
+
+namespace {
+autodiff::Var apply_activation(const autodiff::Var& x, Activation act) {
+    switch (act) {
+        case Activation::kTanh:
+            return autodiff::tanh_v(x);
+        case Activation::kRelu:
+            return autodiff::relu_v(x);
+        case Activation::kLeakyRelu:
+            return autodiff::leaky_relu_v(x);
+        case Activation::kSigmoid:
+            return autodiff::sigmoid_v(x);
+        case Activation::kIdentity:
+            return x;
+    }
+    throw std::logic_error("apply_activation: unknown activation");
+}
+}  // namespace
+
+MLP::MLP(std::vector<std::size_t> layer_sizes, Activation act,
+         rng::Engine& eng, double out_gain)
+    : act_(act) {
+    if (layer_sizes.size() < 2)
+        throw std::invalid_argument("MLP: need at least input and output size");
+    for (std::size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+        const bool last = (i + 2 == layer_sizes.size());
+        layers_.emplace_back(layer_sizes[i], layer_sizes[i + 1], eng,
+                             last ? out_gain : 1.0);
+    }
+}
+
+autodiff::Var MLP::forward(const autodiff::Var& x) const {
+    autodiff::Var h = x;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        h = layers_[i].forward(h);
+        if (i + 1 < layers_.size()) h = apply_activation(h, act_);
+    }
+    return h;
+}
+
+linalg::Matrix MLP::predict(const linalg::Matrix& x) const {
+    return forward(autodiff::Var(x)).value();
+}
+
+std::vector<autodiff::Var> MLP::params() const {
+    std::vector<autodiff::Var> out;
+    for (const auto& l : layers_)
+        for (auto& p : l.params()) out.push_back(p);
+    return out;
+}
+
+void MLP::set_trainable(bool trainable) {
+    for (auto& p : params()) p.set_requires_grad(trainable);
+}
+
+}  // namespace nofis::nn

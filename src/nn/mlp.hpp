@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/linear.hpp"
+
+namespace nofis::nn {
+
+enum class Activation { kTanh, kRelu, kLeakyRelu, kSigmoid, kIdentity };
+
+/// Multi-layer perceptron: Linear -> act -> ... -> Linear (no activation on
+/// the output layer). The conditioner network of every RealNVP coupling
+/// layer, and the surrogate model of the SIR / SUC baselines.
+class MLP {
+public:
+    /// `layer_sizes` = {in, h1, ..., out}; needs >= 2 entries.
+    /// `out_gain` scales the final layer's init (0 => zero-initialised output,
+    /// used so coupling layers start as the identity).
+    MLP(std::vector<std::size_t> layer_sizes, Activation act,
+        rng::Engine& eng, double out_gain = 1.0);
+
+    autodiff::Var forward(const autodiff::Var& x) const;
+
+    /// Convenience: forward on raw data without gradient tracking.
+    linalg::Matrix predict(const linalg::Matrix& x) const;
+
+    std::vector<autodiff::Var> params() const;
+
+    /// Marks all parameters (non-)trainable; frozen parameters are skipped
+    /// by optimizers and pruned from gradient flow.
+    void set_trainable(bool trainable);
+
+    std::size_t in_features() const { return layers_.front().in_features(); }
+    std::size_t out_features() const { return layers_.back().out_features(); }
+
+private:
+    std::vector<Linear> layers_;
+    Activation act_;
+};
+
+}  // namespace nofis::nn

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "autodiff/var.hpp"
+
+namespace nofis::nn {
+
+/// Base optimizer: owns handles to the trainable parameters and updates
+/// their values in place from accumulated gradients.
+///
+/// Frozen parameters (`requires_grad() == false`) are skipped by `step` —
+/// this is how the NOFIS stage-m training leaves blocks 1..(m-1) untouched
+/// while still letting them participate in the forward pass.
+class Optimizer {
+public:
+    explicit Optimizer(std::vector<autodiff::Var> params)
+        : params_(std::move(params)) {}
+    virtual ~Optimizer() = default;
+
+    void zero_grad();
+    virtual void step() = 0;
+
+    /// Clips the global L2 norm of all (unfrozen) gradients to `max_norm`.
+    /// Returns the pre-clip norm. Call between backward() and step().
+    double clip_grad_norm(double max_norm);
+
+    std::span<const autodiff::Var> params() const noexcept { return params_; }
+
+protected:
+    std::vector<autodiff::Var> params_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd final : public Optimizer {
+public:
+    Sgd(std::vector<autodiff::Var> params, double lr, double momentum = 0.0);
+    void step() override;
+
+private:
+    double lr_;
+    double momentum_;
+    std::vector<linalg::Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba) — the optimizer used for all flow and surrogate
+/// training in this repo, mirroring the paper's PyTorch setup.
+class Adam final : public Optimizer {
+public:
+    Adam(std::vector<autodiff::Var> params, double lr, double beta1 = 0.9,
+         double beta2 = 0.999, double eps = 1e-8);
+    void step() override;
+
+    double learning_rate() const noexcept { return lr_; }
+    void set_learning_rate(double lr) noexcept { lr_ = lr; }
+
+private:
+    double lr_;
+    double beta1_;
+    double beta2_;
+    double eps_;
+    long t_ = 0;
+    std::vector<linalg::Matrix> m_;
+    std::vector<linalg::Matrix> v_;
+};
+
+}  // namespace nofis::nn

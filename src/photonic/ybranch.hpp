@@ -1,0 +1,61 @@
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace nofis::photonic {
+
+/// Scalar coupled-mode transfer-matrix model of a photonic Y-branch splitter
+/// under boundary (sidewall) deformation — the paper's test case #9.
+///
+/// The branch taper of length L is discretised into segments. The local
+/// waveguide width is w(z) = w_nom(z) + Σ_k c_k x_k sin(kπz/L): a 26-mode
+/// Fourier parameterisation of the line-edge deformation, driven by the
+/// standard-normal vector x. Within each segment a two-mode amplitude
+/// vector (fundamental, first higher-order/radiative) propagates with
+///  - width-dependent propagation constants β₁(w), β₂(w),
+///  - slope-driven inter-mode coupling θ ∝ dδw/dz (asymmetric walls scatter
+///    power into the higher mode),
+///  - width-dependent loss on the higher mode (it leaks into the slab) and
+///    a small fundamental-mode scattering loss when the width deviates.
+/// The figure of merit is the fundamental-mode power transmission
+/// T = |a₁(L)|², and the failure event is T < 0.32.
+class YBranchModel {
+public:
+    struct Params {
+        std::size_t num_modes = 26;      ///< deformation dimensions
+        std::size_t segments = 64;
+        double length_um = 20.0;
+        double w_in_um = 0.5;            ///< input width
+        double w_out_um = 1.2;           ///< output width
+        double lambda_um = 1.55;
+        double n_eff1 = 2.44;            ///< fundamental effective index
+        double n_eff2 = 2.31;            ///< higher-order effective index
+        double dn_dw1 = 0.30;            ///< d n_eff1 / d w [1/µm]
+        double dn_dw2 = 0.55;            ///< d n_eff2 / d w [1/µm]
+        double deform_amp_um = 0.0272;    ///< per-mode deformation amplitude
+        double couple_strength = 1.9;    ///< slope-to-coupling factor
+        double loss2_per_um = 0.28;      ///< higher-mode leakage loss
+        double loss1_scatter = 0.055;    ///< fundamental scattering factor
+        double nominal_split = 0.70;     ///< amplitude kept in the arm
+    };
+
+    YBranchModel() : YBranchModel(Params()) {}
+    explicit YBranchModel(Params p);
+
+    /// Power transmission T(x) in [0, 1]; x.size() == num_modes.
+    double transmission(std::span<const double> x) const;
+
+    /// Deformed width profile at segment centres (for tests / plots).
+    std::vector<double> width_profile(std::span<const double> x) const;
+
+    std::size_t num_modes() const noexcept { return p_.num_modes; }
+
+private:
+    Params p_;
+    std::vector<double> z_centers_;  ///< segment centres [µm]
+    std::vector<double> w_nominal_;  ///< nominal width at centres
+};
+
+}  // namespace nofis::photonic

@@ -1,0 +1,58 @@
+#include "rng/engine.hpp"
+
+namespace nofis::rng {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Engine::Engine(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+    // Guard against the (astronomically unlikely) all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Engine::result_type Engine::operator()() noexcept {
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double Engine::uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Engine::uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Engine::uniform_index(std::uint64_t n) noexcept {
+    // Rejection-free multiply-shift; bias is negligible for n << 2^64.
+    return static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>((*this)()) * n >> 64);
+}
+
+Engine Engine::split() noexcept {
+    return Engine((*this)() ^ 0x2545f4914f6cdd1dULL);
+}
+
+}  // namespace nofis::rng

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "rng/engine.hpp"
+
+namespace nofis::rng {
+
+/// One standard-normal draw (Box–Muller, one value per call; the spare is
+/// intentionally discarded to keep streams stateless and splittable).
+double standard_normal(Engine& eng) noexcept;
+
+/// Fills `out` with i.i.d. N(0,1) draws.
+void fill_standard_normal(Engine& eng, std::span<double> out) noexcept;
+
+/// (n x d) matrix of i.i.d. N(0,1) draws — the base-distribution sampler for
+/// flows and all estimator proposal seeds.
+linalg::Matrix standard_normal_matrix(Engine& eng, std::size_t n,
+                                      std::size_t d);
+
+/// log pdf of N(0,1) at x.
+double normal_log_pdf(double x) noexcept;
+
+/// log pdf of a D-dim standard normal at row-vector x.
+double standard_normal_log_pdf(std::span<const double> x) noexcept;
+
+/// Standard normal CDF Φ(x).
+double normal_cdf(double x) noexcept;
+
+/// Standard normal inverse CDF Φ⁻¹(p) (Acklam's rational approximation with
+/// one Halley refinement step; |error| < 1e-13 on (0,1)).
+double normal_quantile(double p);
+
+}  // namespace nofis::rng

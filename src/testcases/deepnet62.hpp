@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "testcases/testcase.hpp"
+
+namespace nofis::testcases {
+
+/// (#10) DeepNet62, D = 62 — our substitute for the paper's "ResNet18 under
+/// parameter variation" (we cannot ship ResNet18 weights or ImageNet; see
+/// DESIGN.md §2). A fixed 4-layer MLP classifier is trained once, at
+/// construction, on a deterministic synthetic binary task; 62 standard-normal
+/// variables multiplicatively perturb 62 weight groups (input rows, hidden
+/// rows, and output-slices). The performance metric is the soft accuracy
+/// on a frozen evaluation set, and the failure event is the metric dropping
+/// below a calibrated threshold: g = SoftAcc(x) − threshold.
+///
+/// The gradient ∂g/∂x is exact: one backward pass through our autodiff
+/// engine chained onto the group structure (mirroring how the paper
+/// backprops through the PyTorch network).
+class DeepNet62Case final : public TestCase {
+public:
+    DeepNet62Case();
+
+    std::string name() const override { return "DeepNet62"; }
+    std::size_t dim() const noexcept override { return 62; }
+    double golden_pr() const noexcept override;
+    double g(std::span<const double> x) const override;
+    double g_grad(std::span<const double> x,
+                  std::span<double> grad_out) const override;
+    NofisBudget nofis_budget() const override;
+    BaselineBudget baseline_budget() const override;
+
+    /// Soft accuracy of the unperturbed network (diagnostics / tests).
+    double nominal_metric() const;
+
+    static constexpr std::size_t kNumGroups = 62;
+
+private:
+    /// Applies the group perturbation x to the base weights.
+    std::vector<linalg::Matrix> perturbed_weights(
+        std::span<const double> x) const;
+    double metric_from_weights(const std::vector<linalg::Matrix>& w) const;
+
+    // Frozen evaluation task.
+    linalg::Matrix eval_x_;       ///< (n x 8) inputs
+    linalg::Matrix eval_sign_;    ///< (n x 1) labels mapped to ±1
+    // Base parameters (4 weight matrices + 4 biases), trained at
+    // construction with a fixed seed.
+    std::vector<linalg::Matrix> weights_;
+    std::vector<linalg::Matrix> biases_;
+    // Group bookkeeping: for each group, the weight-matrix index and the
+    // flat element range it scales.
+    struct Group {
+        std::size_t layer;
+        std::size_t begin;
+        std::size_t end;
+    };
+    std::vector<Group> groups_;
+    double threshold_ = 0.0;
+    double sigma_ = 0.0;
+};
+
+}  // namespace nofis::testcases

@@ -1,0 +1,71 @@
+#include "testcases/oscillator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nofis::testcases {
+
+namespace {
+// Benchmark parameter distributions (means, sigmas) per Song et al.
+constexpr double kMeanM = 1.0, kSigM = 0.05;
+constexpr double kMeanC1 = 1.0, kSigC1 = 0.10;
+constexpr double kMeanC2 = 0.1, kSigC2 = 0.01;
+constexpr double kMeanR = 0.5, kSigR = 0.05;
+constexpr double kMeanF1 = 0.6, kSigF1 = 0.10;
+constexpr double kMeanT1 = 1.0, kSigT1 = 0.20;
+
+// Safety factor calibrated offline (tools/calibrate) for P_r ≈ 1.8e-6.
+constexpr double kSafety = 3.28;
+constexpr double kGolden = 1.35e-6;
+}  // namespace
+
+double OscillatorCase::peak_displacement(double m, double c1, double c2,
+                                         double f1, double t1) {
+    const double omega0 = std::sqrt((c1 + c2) / m);
+    return std::abs(2.0 * f1 / (m * omega0 * omega0) *
+                    std::sin(omega0 * t1 / 2.0));
+}
+
+double OscillatorCase::golden_pr() const noexcept { return kGolden; }
+
+double OscillatorCase::g(std::span<const double> x) const {
+    if (x.size() != 6)
+        throw std::invalid_argument("OscillatorCase: dimension mismatch");
+    const double m = kMeanM + kSigM * x[0];
+    const double c1 = kMeanC1 + kSigC1 * x[1];
+    const double c2 = kMeanC2 + kSigC2 * x[2];
+    const double r = kMeanR + kSigR * x[3];
+    const double f1 = kMeanF1 + kSigF1 * x[4];
+    const double t1 = kMeanT1 + kSigT1 * x[5];
+    // Guard the (astronomically unlikely) unphysical corner m, c <= 0.
+    if (m <= 1e-3 || c1 + c2 <= 1e-3) return -1.0;
+    return kSafety * r - peak_displacement(m, c1, c2, f1, t1);
+}
+
+NofisBudget OscillatorCase::nofis_budget() const {
+    NofisBudget b;
+    // Paper: 31K total calls.
+    b.levels = {0.9, 0.6, 0.38, 0.2, 0.08, 0.0};
+    b.epochs = 96;
+    b.samples_per_epoch = 50;
+    b.n_is = 2200;  // 6*96*50 + 2200 = 31,000
+    b.tau = 40.0;
+    return b;
+}
+
+BaselineBudget OscillatorCase::baseline_budget() const {
+    BaselineBudget b;
+    b.mc_samples = 100000;
+    b.sir_train_samples = 50000;
+    b.sus_samples_per_level = 6400;  // ~45K over ~6 levels
+    b.sus_max_levels = 9;
+    b.suc_samples_per_level = 5700;  // ~40K
+    b.suc_max_levels = 9;
+    b.sss_total_samples = 40000;
+    b.ais_iterations = 6;
+    b.ais_samples_per_iteration = 5500;
+    b.ais_final_samples = 10000;     // ~43K
+    return b;
+}
+
+}  // namespace nofis::testcases

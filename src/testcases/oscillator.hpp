@@ -1,0 +1,29 @@
+#pragma once
+
+#include "testcases/testcase.hpp"
+
+namespace nofis::testcases {
+
+/// (#7) Oscillator, D = 6 — the classic nonlinear single-degree-of-freedom
+/// oscillator reliability benchmark (Song et al. 2021, the paper's [18]):
+/// a mass on two springs driven by a rectangular pulse. Failure when the
+/// peak displacement exceeds k·r:
+///     g = k·r − |2 F1 / (m ω0²) · sin(ω0 t1 / 2)|,  ω0 = √((c1+c2)/m).
+/// The six physical parameters (m, c1, c2, r, F1, t1) are Gaussian with the
+/// benchmark's means/sigmas, mapped from the standard-normal x. The safety
+/// factor k is calibrated so P_r ≈ 1.8e-6 (the paper's golden value).
+class OscillatorCase final : public TestCase {
+public:
+    std::string name() const override { return "Oscillator"; }
+    std::size_t dim() const noexcept override { return 6; }
+    double golden_pr() const noexcept override;
+    double g(std::span<const double> x) const override;
+    NofisBudget nofis_budget() const override;
+    BaselineBudget baseline_budget() const override;
+
+    /// Peak-displacement response for given physical parameters (tests).
+    static double peak_displacement(double m, double c1, double c2, double f1,
+                                    double t1);
+};
+
+}  // namespace nofis::testcases

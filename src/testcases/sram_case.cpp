@@ -1,0 +1,38 @@
+#include "testcases/sram_case.hpp"
+
+namespace nofis::testcases {
+
+// Calibrated with tools/calibrate (deep SUS; recipe in EXPERIMENTS.md).
+double SramCase::golden_pr() const noexcept { return 5.4e-6; }
+
+double SramCase::g(std::span<const double> x) const {
+    return model_.static_noise_margin(x) - kSnmMin;
+}
+
+NofisBudget SramCase::nofis_budget() const {
+    NofisBudget b;
+    // Margins above the 40 mV spec, decade-ish spaced from calibration.
+    b.levels = {0.110, 0.0755, 0.0455, 0.0197, 0.0086, 0.0};
+    b.epochs = 67;
+    b.samples_per_epoch = 50;
+    b.n_is = 1900;  // 6*67*50 + 1,900 = 22,000 calls
+    b.tau = 300.0;  // g is in volts (≈0.1 scale)
+    return b;
+}
+
+BaselineBudget SramCase::baseline_budget() const {
+    BaselineBudget b;
+    b.mc_samples = 50000;
+    b.sir_train_samples = 22000;
+    b.sus_samples_per_level = 3700;
+    b.sus_max_levels = 9;
+    b.suc_samples_per_level = 4000;
+    b.suc_max_levels = 9;
+    b.sss_total_samples = 22000;
+    b.ais_iterations = 4;
+    b.ais_samples_per_iteration = 4000;
+    b.ais_final_samples = 6000;
+    return b;
+}
+
+}  // namespace nofis::testcases

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "circuit/sram.hpp"
+#include "testcases/testcase.hpp"
+
+namespace nofis::testcases {
+
+/// Extension test case (beyond Table 1): 6T SRAM read-stability failure,
+/// the application the paper's introduction motivates. Every g call traces
+/// two half-cell butterfly curves with Newton nonlinear DC solves and
+/// extracts the Seevinck static noise margin; the cell fails when the SNM
+/// under threshold-voltage mismatch drops below the spec:
+///     g(x) = SNM(x) − snm_min.
+class SramCase final : public TestCase {
+public:
+    SramCase() = default;
+
+    std::string name() const override { return "Sram6T"; }
+    std::size_t dim() const noexcept override { return 6; }
+    double golden_pr() const noexcept override;
+    double g(std::span<const double> x) const override;
+    /// SNM varies on the 100 mV scale; the FD step must stay well below it.
+    double fd_step() const noexcept override { return 1e-4; }
+    NofisBudget nofis_budget() const override;
+    BaselineBudget baseline_budget() const override;
+
+    const circuit::SramCellModel& model() const noexcept { return model_; }
+
+    static constexpr double kSnmMin = 0.040;  ///< 40 mV read-SNM spec
+
+private:
+    circuit::SramCellModel model_;
+};
+
+}  // namespace nofis::testcases

@@ -1,0 +1,323 @@
+#include "testcases/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+#include "rng/normal.hpp"
+
+namespace nofis::testcases {
+
+namespace {
+void check_dim(std::span<const double> x, std::size_t d, const char* who) {
+    if (x.size() != d)
+        throw std::invalid_argument(std::string(who) + ": dimension mismatch");
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// (#1) Leaf
+// ---------------------------------------------------------------------------
+
+double LeafCase::g(std::span<const double> x) const {
+    check_dim(x, 2, "LeafCase");
+    const double dp = (x[0] + 3.8) * (x[0] + 3.8) + (x[1] + 3.8) * (x[1] + 3.8);
+    const double dm = (x[0] - 3.8) * (x[0] - 3.8) + (x[1] - 3.8) * (x[1] - 3.8);
+    return std::min(dp, dm) - 1.0;
+}
+
+double LeafCase::g_grad(std::span<const double> x,
+                        std::span<double> grad_out) const {
+    check_dim(x, 2, "LeafCase");
+    const double dp = (x[0] + 3.8) * (x[0] + 3.8) + (x[1] + 3.8) * (x[1] + 3.8);
+    const double dm = (x[0] - 3.8) * (x[0] - 3.8) + (x[1] - 3.8) * (x[1] - 3.8);
+    const double c = dp < dm ? -3.8 : 3.8;
+    grad_out[0] = 2.0 * (x[0] - c);
+    grad_out[1] = 2.0 * (x[1] - c);
+    return std::min(dp, dm) - 1.0;
+}
+
+NofisBudget LeafCase::nofis_budget() const {
+    NofisBudget b;
+    // Paper: 32.0K total calls. We keep that budget but rebalance it:
+    // M = 6, E = 100, N = 50 -> MEN = 30,000 training calls + N_IS = 2,000.
+    // The first level (a1 = 40) makes Ω_{a1} CONNECTED (the two discs of
+    // radius √41 overlap), which protects the flow from dropping a mode at
+    // the topological split near a ≈ 28 — see EXPERIMENTS.md §Leaf.
+    b.levels = {40.0, 28.0, 18.0, 10.0, 4.0, 0.0};
+    b.epochs = 100;
+    b.samples_per_epoch = 50;
+    b.n_is = 2000;
+    b.tau = 30.0;
+    return b;
+}
+
+BaselineBudget LeafCase::baseline_budget() const {
+    BaselineBudget b;
+    b.mc_samples = 50000;              // 50.0K
+    b.sir_train_samples = 50000;       // 50.0K
+    b.sus_samples_per_level = 7000;    // ~42K over ~6 levels
+    b.sus_max_levels = 8;
+    b.suc_samples_per_level = 6800;    // ~47.5K
+    b.suc_max_levels = 8;
+    b.sss_total_samples = 40000;       // 40.0K
+    b.ais_iterations = 6;              // ~35K
+    b.ais_samples_per_iteration = 5000;
+    b.ais_final_samples = 5000;
+    return b;
+}
+
+// ---------------------------------------------------------------------------
+// (#2) Cube
+// ---------------------------------------------------------------------------
+
+double CubeCase::g(std::span<const double> x) const {
+    check_dim(x, 6, "CubeCase");
+    double worst = -std::numeric_limits<double>::infinity();
+    for (double v : x) worst = std::max(worst, kThreshold - v);
+    return worst;
+}
+
+double CubeCase::g_grad(std::span<const double> x,
+                        std::span<double> grad_out) const {
+    check_dim(x, 6, "CubeCase");
+    double worst = -std::numeric_limits<double>::infinity();
+    std::size_t arg = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double v = kThreshold - x[i];
+        if (v > worst) {
+            worst = v;
+            arg = i;
+        }
+    }
+    std::fill(grad_out.begin(), grad_out.end(), 0.0);
+    grad_out[arg] = -1.0;  // subgradient of the active max component
+    return worst;
+}
+
+double CubeCase::analytic_prob(double a) {
+    // g <= a  <=>  x_i >= kThreshold - a for all i.
+    const double tail = 1.0 - rng::normal_cdf(kThreshold - a);
+    return std::pow(tail, 6.0);
+}
+
+NofisBudget CubeCase::nofis_budget() const {
+    NofisBudget b;
+    // The paper notes E, M, N must be larger here (P_r ~ 2e-9; 197.5K total).
+    // Levels chosen so P[Ω_{a_m}] ≈ 10^{-m} analytically (see
+    // CubeCase::analytic_prob).
+    b.levels = {2.2714, 1.7101, 1.3216, 1.0125, 0.7496,
+                0.5184, 0.3099, 0.1203, 0.0};
+    b.epochs = 100;
+    b.samples_per_epoch = 200;
+    b.n_is = 17500;  // 9*100*200 + 17,500 = 197.5K
+    b.tau = 20.0;
+    return b;
+}
+
+BaselineBudget CubeCase::baseline_budget() const {
+    BaselineBudget b;
+    b.mc_samples = 500000;
+    b.sir_train_samples = 500000;
+    b.sus_samples_per_level = 22000;   // ~206K over ~9 levels
+    b.sus_max_levels = 12;
+    b.suc_samples_per_level = 28000;   // ~280K
+    b.suc_max_levels = 12;
+    b.sss_total_samples = 400000;
+    b.ais_iterations = 9;
+    b.ais_samples_per_iteration = 22000;
+    b.ais_final_samples = 29000;       // ~227K
+    return b;
+}
+
+// ---------------------------------------------------------------------------
+// Raw benchmark functions
+// ---------------------------------------------------------------------------
+
+double rosenbrock(std::span<const double> x) {
+    double s = 0.0;
+    for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+        const double a = x[i + 1] - x[i] * x[i];
+        const double b = 1.0 - x[i];
+        s += 100.0 * a * a + b * b;
+    }
+    return s;
+}
+
+double levy(std::span<const double> x) {
+    const auto w = [&](std::size_t i) { return 1.0 + (x[i] - 1.0) / 4.0; };
+    const double pi = std::numbers::pi;
+    const double w0 = w(0);
+    double s = std::sin(pi * w0) * std::sin(pi * w0);
+    for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+        const double wi = w(i);
+        const double sw = std::sin(pi * wi + 1.0);
+        s += (wi - 1.0) * (wi - 1.0) * (1.0 + 10.0 * sw * sw);
+    }
+    const double wd = w(x.size() - 1);
+    const double sd = std::sin(2.0 * pi * wd);
+    s += (wd - 1.0) * (wd - 1.0) * (1.0 + sd * sd);
+    return s;
+}
+
+double powell(std::span<const double> x) {
+    double s = 0.0;
+    for (std::size_t k = 0; k + 3 < x.size(); k += 4) {
+        const double t1 = x[k] + 10.0 * x[k + 1];
+        const double t2 = x[k + 2] - x[k + 3];
+        const double t3 = x[k + 1] - 2.0 * x[k + 2];
+        const double t4 = x[k] - x[k + 3];
+        s += t1 * t1 + 5.0 * t2 * t2 + t3 * t3 * t3 * t3 +
+             10.0 * t4 * t4 * t4 * t4;
+    }
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// (#3) Rosen
+// ---------------------------------------------------------------------------
+
+namespace {
+// Thresholds calibrated offline (tools/calibrate) so the golden P_r of each
+// synthetic case lands near the paper's Table-1 value; the golden numbers
+// below are our own reference estimates for OUR g (see EXPERIMENTS.md).
+constexpr double kRosenThreshold = 34400.0;
+constexpr double kRosenGolden = 4.36e-4;    // 4M-sample MC calibration
+constexpr double kLevyThreshold = 53.6;
+constexpr double kLevyGolden = 3.0e-6;      // deep-SUS calibration
+constexpr double kPowellThreshold = 22900.0;
+constexpr double kPowellGolden = 2.9e-5;    // 4M-sample MC calibration
+}  // namespace
+
+double RosenCase::golden_pr() const noexcept { return kRosenGolden; }
+
+double RosenCase::g(std::span<const double> x) const {
+    check_dim(x, 10, "RosenCase");
+    return kRosenThreshold - rosenbrock(x);
+}
+
+double RosenCase::g_grad(std::span<const double> x,
+                         std::span<double> grad_out) const {
+    check_dim(x, 10, "RosenCase");
+    std::fill(grad_out.begin(), grad_out.end(), 0.0);
+    for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+        const double a = x[i + 1] - x[i] * x[i];
+        // d rosen: w.r.t. x_i: -400 a x_i - 2(1-x_i); w.r.t. x_{i+1}: 200 a.
+        grad_out[i] -= -400.0 * a * x[i] - 2.0 * (1.0 - x[i]);
+        grad_out[i + 1] -= 200.0 * a;
+    }
+    return kRosenThreshold - rosenbrock(x);
+}
+
+NofisBudget RosenCase::nofis_budget() const {
+    NofisBudget b;
+    // 7.0K calls: M = 4, E = 64, N = 25 -> 6400, N_IS = 600.
+    b.levels = {26800.0, 17500.0, 5400.0, 0.0};
+    b.epochs = 64;
+    b.samples_per_epoch = 25;
+    b.n_is = 600;
+    b.tau = 0.002;  // rosen values are O(1e4); τ scales with 1/|g| range
+    b.defensive_weight = 0.3;
+    b.defensive_sigma = 1.3;
+    return b;
+}
+
+BaselineBudget RosenCase::baseline_budget() const {
+    BaselineBudget b;
+    b.mc_samples = 7000;
+    b.sir_train_samples = 7000;
+    b.sus_samples_per_level = 1750;  // ~7K over ~4 levels
+    b.sus_max_levels = 6;
+    b.suc_samples_per_level = 2000;
+    b.suc_max_levels = 6;
+    b.sss_total_samples = 8000;
+    b.ais_iterations = 4;
+    b.ais_samples_per_iteration = 1600;
+    b.ais_final_samples = 2000;
+    return b;
+}
+
+// ---------------------------------------------------------------------------
+// (#4) Levy
+// ---------------------------------------------------------------------------
+
+double LevyCase::golden_pr() const noexcept { return kLevyGolden; }
+
+double LevyCase::g(std::span<const double> x) const {
+    check_dim(x, 20, "LevyCase");
+    return kLevyThreshold - levy(x);
+}
+
+NofisBudget LevyCase::nofis_budget() const {
+    NofisBudget b;
+    // 48.2K calls: M = 5, E = 120, N = 75 -> 45,000, N_IS = 3,200.
+    b.levels = {32.0, 22.0, 15.0, 8.5, 0.0};
+    b.epochs = 120;
+    b.samples_per_epoch = 75;
+    b.n_is = 3200;
+    b.tau = 1.0;
+    b.defensive_weight = 0.3;
+    b.defensive_sigma = 1.3;
+    return b;
+}
+
+BaselineBudget LevyCase::baseline_budget() const {
+    BaselineBudget b;
+    b.mc_samples = 50000;
+    b.sir_train_samples = 50000;
+    b.sus_samples_per_level = 8000;  // ~49K over ~6 levels
+    b.sus_max_levels = 8;
+    b.suc_samples_per_level = 8000;
+    b.suc_max_levels = 8;
+    b.sss_total_samples = 40000;
+    b.ais_iterations = 7;
+    b.ais_samples_per_iteration = 7000;
+    b.ais_final_samples = 7000;
+    return b;
+}
+
+// ---------------------------------------------------------------------------
+// (#5) Powell
+// ---------------------------------------------------------------------------
+
+double PowellCase::golden_pr() const noexcept { return kPowellGolden; }
+
+double PowellCase::g(std::span<const double> x) const {
+    check_dim(x, 40, "PowellCase");
+    return kPowellThreshold - powell(x);
+}
+
+NofisBudget PowellCase::nofis_budget() const {
+    NofisBudget b;
+    // 7.0K calls: M = 5, E = 44, N = 25 -> 5,500, N_IS = 1,500.
+    // Decade-spaced levels from the calibration quantiles; the Powell
+    // failure set is heavily multimodal (any of 10 blocks, both signs), so
+    // the defensive mixture guards the final IS stage (EXPERIMENTS.md).
+    b.levels = {17900.0, 14300.0, 9650.0, 3475.0, 0.0};
+    b.epochs = 44;
+    b.samples_per_epoch = 25;
+    b.n_is = 1500;
+    b.tau = 0.0015;
+    b.defensive_weight = 0.4;
+    b.defensive_sigma = 1.35;
+    return b;
+}
+
+BaselineBudget PowellCase::baseline_budget() const {
+    BaselineBudget b;
+    b.mc_samples = 10000;
+    b.sir_train_samples = 10000;
+    b.sus_samples_per_level = 1800;  // ~9K over ~5 levels
+    b.sus_max_levels = 7;
+    b.suc_samples_per_level = 1900;
+    b.suc_max_levels = 7;
+    b.sss_total_samples = 8000;
+    b.ais_iterations = 4;
+    b.ais_samples_per_iteration = 1600;
+    b.ais_final_samples = 1500;
+    return b;
+}
+
+}  // namespace nofis::testcases

@@ -1,0 +1,85 @@
+#pragma once
+
+#include "testcases/testcase.hpp"
+
+namespace nofis::testcases {
+
+/// (#1) Leaf, D = 2 — the paper's running example (Figures 2(b), 3, 4):
+/// Ω is the union of two discs of radius 1 centred at ±(3.8, 3.8), deep in
+/// the tail of p. g = min(‖x − c₊‖², ‖x − c₋‖²) − 1.
+class LeafCase final : public TestCase {
+public:
+    std::string name() const override { return "Leaf"; }
+    std::size_t dim() const noexcept override { return 2; }
+    double golden_pr() const noexcept override { return 4.74e-6; }
+    double g(std::span<const double> x) const override;
+    double g_grad(std::span<const double> x,
+                  std::span<double> grad_out) const override;
+    NofisBudget nofis_budget() const override;
+    BaselineBudget baseline_budget() const override;
+};
+
+/// (#2) Cube, D = 6 — the analytic corner event {x_i >= 1.8 ∀i}:
+/// g = max_i (1.8 − x_i), with exact P_r = (1 − Φ(1.8))⁶ ≈ 2.15e-9.
+class CubeCase final : public TestCase {
+public:
+    static constexpr double kThreshold = 1.8;
+
+    std::string name() const override { return "Cube"; }
+    std::size_t dim() const noexcept override { return 6; }
+    double golden_pr() const noexcept override { return 2.154e-9; }
+    double g(std::span<const double> x) const override;
+    double g_grad(std::span<const double> x,
+                  std::span<double> grad_out) const override;
+    NofisBudget nofis_budget() const override;
+    BaselineBudget baseline_budget() const override;
+
+    /// Analytic P[g <= a] — used by tests to validate estimators.
+    static double analytic_prob(double a);
+};
+
+/// (#3) Rosen, D = 10 — failure when the Rosenbrock function exceeds a
+/// calibrated threshold: g = thr − rosen(x).
+class RosenCase final : public TestCase {
+public:
+    std::string name() const override { return "Rosen"; }
+    std::size_t dim() const noexcept override { return 10; }
+    double golden_pr() const noexcept override;
+    double g(std::span<const double> x) const override;
+    double g_grad(std::span<const double> x,
+                  std::span<double> grad_out) const override;
+    NofisBudget nofis_budget() const override;
+    BaselineBudget baseline_budget() const override;
+};
+
+/// (#4) Levy, D = 20 — failure when the Levy function exceeds a calibrated
+/// threshold: g = thr − levy(x). Gradient via finite differences (the
+/// function is cheap).
+class LevyCase final : public TestCase {
+public:
+    std::string name() const override { return "Levy"; }
+    std::size_t dim() const noexcept override { return 20; }
+    double golden_pr() const noexcept override;
+    double g(std::span<const double> x) const override;
+    NofisBudget nofis_budget() const override;
+    BaselineBudget baseline_budget() const override;
+};
+
+/// (#5) Powell, D = 40 — failure when the Powell function exceeds a
+/// calibrated threshold: g = thr − powell(x).
+class PowellCase final : public TestCase {
+public:
+    std::string name() const override { return "Powell"; }
+    std::size_t dim() const noexcept override { return 40; }
+    double golden_pr() const noexcept override;
+    double g(std::span<const double> x) const override;
+    NofisBudget nofis_budget() const override;
+    BaselineBudget baseline_budget() const override;
+};
+
+/// Raw benchmark functions (exposed for tests and calibration tooling).
+double rosenbrock(std::span<const double> x);
+double levy(std::span<const double> x);
+double powell(std::span<const double> x);
+
+}  // namespace nofis::testcases

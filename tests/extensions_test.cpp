@@ -1,0 +1,164 @@
+// Tests for the library extensions: line sampling and flow serialisation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "estimators/line_sampling.hpp"
+#include "flow/serialize.hpp"
+#include "rng/normal.hpp"
+#include "testcases/synthetic.hpp"
+
+namespace {
+
+using namespace nofis;
+
+class HalfSpace final : public estimators::RareEventProblem {
+public:
+    HalfSpace(std::size_t dim, double t) : dim_(dim), t_(t) {}
+    std::size_t dim() const noexcept override { return dim_; }
+    double g(std::span<const double> x) const override { return t_ - x[0]; }
+    double analytic() const { return 1.0 - rng::normal_cdf(t_); }
+
+private:
+    std::size_t dim_;
+    double t_;
+};
+
+// ---------------------------------------------------------------------------
+// Line sampling
+// ---------------------------------------------------------------------------
+
+TEST(LineSampling, ExactOnAffineLimitState) {
+    // For a half-space every line crosses at the same distance, so line
+    // sampling is (nearly) zero-variance even for P ~ 1e-9.
+    HalfSpace prob(5, 6.0);  // P ≈ 9.9e-10
+    estimators::LineSamplingEstimator ls(
+        {.num_lines = 60, .pilot_samples = 200, .pilot_sigma = 3.0});
+    rng::Engine eng(1);
+    const auto res = ls.estimate(prob, eng);
+    ASSERT_FALSE(res.failed);
+    EXPECT_LT(estimators::log_error(res.p_hat, prob.analytic()), 0.05);
+    // Budget: pilot + ~evals-per-line * lines.
+    EXPECT_LT(res.calls, 200u + 60u * 12u + 1u);
+}
+
+TEST(LineSampling, AccurateOnLeafDespiteCurvature) {
+    // The Leaf region is two discs; lines through the located disc solve
+    // exactly, and the missed twin biases by at most ~ln 2.
+    testcases::LeafCase leaf;
+    estimators::LineSamplingEstimator ls(
+        {.num_lines = 150, .pilot_samples = 400, .pilot_sigma = 2.5});
+    double mean = 0.0;
+    for (int r = 0; r < 3; ++r) {
+        rng::Engine eng(10 + r);
+        const auto res = ls.estimate(leaf, eng);
+        mean += res.p_hat;
+    }
+    mean /= 3.0;
+    EXPECT_LT(estimators::log_error(mean, leaf.golden_pr()), 1.2);
+}
+
+TEST(LineSampling, FailsGracefullyWhenRegionUnreachable) {
+    HalfSpace prob(3, 50.0);
+    estimators::LineSamplingEstimator ls(
+        {.num_lines = 20, .pilot_samples = 50, .pilot_sigma = 2.0,
+         .c_max = 8.0});
+    rng::Engine eng(2);
+    const auto res = ls.estimate(prob, eng);
+    EXPECT_TRUE(res.failed || res.p_hat < 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Flow serialisation
+// ---------------------------------------------------------------------------
+
+flow::CouplingStack make_trained_stack(flow::CouplingKind kind,
+                                       bool actnorm) {
+    flow::StackConfig cfg;
+    cfg.dim = 3;
+    cfg.num_blocks = 2;
+    cfg.layers_per_block = 4;
+    cfg.hidden = {10};
+    cfg.coupling = kind;
+    cfg.use_actnorm = actnorm;
+    rng::Engine eng(3);
+    flow::CouplingStack stack(cfg, eng);
+    rng::Engine weights(4);
+    for (auto& p : stack.params())
+        for (double& v : p.mutable_value().flat())
+            v = 0.2 * rng::standard_normal(weights);
+    return stack;
+}
+
+class SerializeVariant
+    : public ::testing::TestWithParam<std::tuple<flow::CouplingKind, bool>> {
+};
+
+TEST_P(SerializeVariant, RoundTripPreservesDensitiesExactly) {
+    const auto [kind, actnorm] = GetParam();
+    const auto original = make_trained_stack(kind, actnorm);
+
+    std::stringstream buffer;
+    flow::save_stack(original, buffer);
+    const auto loaded = flow::load_stack(buffer);
+
+    EXPECT_EQ(loaded.dim(), original.dim());
+    EXPECT_EQ(loaded.num_blocks(), original.num_blocks());
+
+    rng::Engine probe(5);
+    const auto x = rng::standard_normal_matrix(probe, 20, 3);
+    const auto lp_orig = original.log_prob(x, 2);
+    const auto lp_load = loaded.log_prob(x, 2);
+    for (std::size_t r = 0; r < 20; ++r)
+        EXPECT_DOUBLE_EQ(lp_orig[r], lp_load[r]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, SerializeVariant,
+    ::testing::Combine(::testing::Values(flow::CouplingKind::kAffine,
+                                         flow::CouplingKind::kAdditive),
+                       ::testing::Bool()));
+
+TEST(Serialize, SamplingMatchesAfterRoundTrip) {
+    const auto original =
+        make_trained_stack(flow::CouplingKind::kAffine, false);
+    std::stringstream buffer;
+    flow::save_stack(original, buffer);
+    const auto loaded = flow::load_stack(buffer);
+    rng::Engine a(6);
+    rng::Engine b(6);
+    const auto sa = original.sample(a, 10, 2);
+    const auto sb = loaded.sample(b, 10, 2);
+    EXPECT_LT(linalg::max_abs_diff(sa.z, sb.z), 1e-15);
+}
+
+TEST(Serialize, RejectsCorruptedInput) {
+    std::stringstream bad("not-a-flow 1 2 3");
+    EXPECT_THROW(flow::load_stack(bad), std::runtime_error);
+
+    const auto original =
+        make_trained_stack(flow::CouplingKind::kAffine, false);
+    std::stringstream buffer;
+    flow::save_stack(original, buffer);
+    std::string text = buffer.str();
+    std::stringstream truncated(text.substr(0, text.size() / 2));
+    EXPECT_THROW(flow::load_stack(truncated), std::runtime_error);
+}
+
+TEST(Serialize, FileRoundTrip) {
+    const auto original =
+        make_trained_stack(flow::CouplingKind::kAdditive, true);
+    const std::string path = ::testing::TempDir() + "/stack.nofisflow";
+    flow::save_stack(original, path);
+    const auto loaded = flow::load_stack(path);
+    rng::Engine probe(7);
+    const auto x = rng::standard_normal_matrix(probe, 5, 3);
+    const auto lp_orig = original.log_prob(x, 2);
+    const auto lp_load = loaded.log_prob(x, 2);
+    for (std::size_t r = 0; r < 5; ++r)
+        EXPECT_DOUBLE_EQ(lp_orig[r], lp_load[r]);
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+#include <cmath>
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+// Cross-module integration tests: registry-driven estimator smoke runs over
+// every Table-1 case, diagnostics serialisation, and the public-API flow the
+// examples rely on.
+
+#include <gtest/gtest.h>
+
+#include "core/diagnostics.hpp"
+#include "core/nofis.hpp"
+#include "estimators/monte_carlo.hpp"
+#include "estimators/sus.hpp"
+#include "rng/normal.hpp"
+#include "testcases/registry.hpp"
+
+namespace {
+
+using namespace nofis;
+
+// Shared cache: DeepNet62 trains a base network on construction.
+testcases::TestCase& cached_case(const std::string& name) {
+    static std::map<std::string, std::unique_ptr<testcases::TestCase>> cache;
+    auto it = cache.find(name);
+    if (it == cache.end())
+        it = cache.emplace(name, testcases::make_case(name)).first;
+    return *it->second;
+}
+
+class EveryCase : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryCase, CheapNofisRunProducesFiniteEstimate) {
+    auto& tc = cached_case(GetParam());
+    // Deliberately tiny budget: this is a smoke test of the full pipeline
+    // (flow construction, staged training, counted g, IS estimate) on every
+    // real model, not an accuracy test.
+    core::NofisConfig cfg;
+    cfg.layers_per_block = 4;
+    cfg.hidden = {12};
+    cfg.epochs = 6;
+    cfg.samples_per_epoch = 16;
+    cfg.n_is = 64;
+    const auto budget = tc.nofis_budget();
+    cfg.tau = budget.tau;
+    // Clip the case's level schedule to at most 3 stages (keep a_M = 0).
+    std::vector<double> levels;
+    if (budget.levels.size() <= 3) {
+        levels = budget.levels;
+    } else {
+        levels = {budget.levels.front(),
+                  budget.levels[budget.levels.size() / 2],
+                  0.0};
+    }
+    core::NofisEstimator est(cfg, core::LevelSchedule::manual(levels));
+    rng::Engine eng(42);
+    const auto res = est.estimate(tc, eng);
+    EXPECT_TRUE(std::isfinite(res.p_hat));
+    EXPECT_GE(res.p_hat, 0.0);
+    EXPECT_EQ(res.calls,
+              levels.size() * cfg.epochs * cfg.samples_per_epoch + cfg.n_is);
+}
+
+TEST_P(EveryCase, MonteCarloSmoke) {
+    auto& tc = cached_case(GetParam());
+    estimators::MonteCarloEstimator mc({.num_samples = 256, .batch = 128});
+    rng::Engine eng(43);
+    const auto res = mc.estimate(tc, eng);
+    EXPECT_EQ(res.calls, 256u);
+    EXPECT_GE(res.p_hat, 0.0);
+    EXPECT_LE(res.p_hat, 1.0);
+}
+
+namespace {
+std::vector<std::string> table1_and_extension_cases() {
+    auto names = testcases::all_case_names();
+    for (auto& n : testcases::extension_case_names()) names.push_back(n);
+    return names;
+}
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(Registry, EveryCase,
+                         ::testing::ValuesIn(table1_and_extension_cases()));
+
+TEST(Diagnostics, LossCurveCsvFormat) {
+    core::StageDiagnostics s1;
+    s1.stage = 1;
+    s1.level = 2.5;
+    s1.epoch_loss = {10.0, 5.0};
+    core::StageDiagnostics s2;
+    s2.stage = 2;
+    s2.level = 0.0;
+    s2.epoch_loss = {4.0};
+    const std::string csv = core::loss_curve_csv({s1, s2});
+    EXPECT_NE(csv.find("stage,level,epoch,loss\n"), std::string::npos);
+    EXPECT_NE(csv.find("1,2.5,0,10\n"), std::string::npos);
+    EXPECT_NE(csv.find("1,2.5,1,5\n"), std::string::npos);
+    EXPECT_NE(csv.find("2,0,0,4\n"), std::string::npos);
+}
+
+TEST(Integration, AutoLevelsFeedNofisDirectly) {
+    // The paper's future-work extension end-to-end: pilot-quantile levels
+    // plugged straight into the estimator.
+    auto& tc = cached_case("Leaf");
+    estimators::CountedProblem counted(tc);
+    rng::Engine eng(44);
+    core::AutoLevelConfig acfg;
+    acfg.num_levels = 4;
+    acfg.pilot_samples = 300;
+    const auto levels = core::auto_levels(counted, eng, acfg);
+    const std::size_t pilot_calls = counted.calls();
+
+    core::NofisConfig cfg;
+    cfg.epochs = 40;
+    cfg.samples_per_epoch = 40;
+    cfg.n_is = 1000;
+    cfg.tau = 30.0;
+    core::NofisEstimator est(cfg, levels);
+    const auto res = est.estimate(tc, eng);
+    EXPECT_FALSE(res.failed);
+    EXPECT_LT(estimators::log_error(res.p_hat, tc.golden_pr()), 3.5);
+    EXPECT_EQ(pilot_calls, 300u);
+}
+
+TEST(Integration, SusAndNofisAgreeOnLeafOrderOfMagnitude) {
+    auto& tc = cached_case("Leaf");
+    estimators::SubsetSimulationEstimator sus(
+        {.samples_per_level = 3000, .p0 = 0.1, .max_levels = 10,
+         .proposal_spread = 1.0});
+    rng::Engine eng1(45);
+    const auto sus_res = sus.estimate(tc, eng1);
+    ASSERT_FALSE(sus_res.failed);
+
+    const auto budget = tc.nofis_budget();
+    core::NofisConfig cfg;
+    cfg.epochs = 50;
+    cfg.samples_per_epoch = 40;
+    cfg.n_is = 1500;
+    cfg.tau = budget.tau;
+    core::NofisEstimator nofis(cfg,
+                               core::LevelSchedule::manual(budget.levels));
+    rng::Engine eng2(46);
+    const auto nofis_res = nofis.estimate(tc, eng2);
+    ASSERT_FALSE(nofis_res.failed);
+
+    EXPECT_LT(std::abs(std::log(std::max(sus_res.p_hat, 1e-12)) -
+                       std::log(std::max(nofis_res.p_hat, 1e-12))),
+              2.5);
+}
+
+}  // namespace

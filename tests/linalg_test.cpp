@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/least_squares.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "rng/engine.hpp"
+#include "rng/normal.hpp"
+
+namespace {
+
+using nofis::linalg::Cholesky;
+using nofis::linalg::ComplexLu;
+using nofis::linalg::LuDecomposition;
+using nofis::linalg::Matrix;
+
+TEST(Matrix, ConstructionAndAccess) {
+    Matrix m(2, 3);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+
+    Matrix lit{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_DOUBLE_EQ(lit(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(lit(1, 0), 3.0);
+    EXPECT_THROW(lit.at(2, 0), std::out_of_range);
+    EXPECT_THROW(Matrix({{1.0}, {2.0, 3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndDiag) {
+    const Matrix i3 = Matrix::identity(3);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(i3(r, c), r == c ? 1.0 : 0.0);
+    const double d[] = {2.0, 5.0};
+    const Matrix dm = Matrix::diag(d);
+    EXPECT_DOUBLE_EQ(dm(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(dm(1, 1), 5.0);
+    EXPECT_DOUBLE_EQ(dm(0, 1), 0.0);
+}
+
+TEST(Matrix, Arithmetic) {
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+    const Matrix sum = a + b;
+    EXPECT_DOUBLE_EQ(sum(0, 0), 6.0);
+    const Matrix diff = b - a;
+    EXPECT_DOUBLE_EQ(diff(1, 1), 4.0);
+    const Matrix scaled = a * 2.0;
+    EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+    const Matrix had = a.hadamard(b);
+    EXPECT_DOUBLE_EQ(had(0, 1), 12.0);
+    EXPECT_THROW(a + Matrix(3, 3), std::invalid_argument);
+}
+
+TEST(Matrix, Matmul) {
+    Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+    Matrix b{{7.0, 8.0}, {9.0, 10.0}, {11.0, 12.0}};
+    const Matrix c = a.matmul(b);
+    ASSERT_EQ(c.rows(), 2u);
+    ASSERT_EQ(c.cols(), 2u);
+    EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+    EXPECT_THROW(a.matmul(a), std::invalid_argument);
+}
+
+TEST(Matrix, MatmulIdentityProperty) {
+    nofis::rng::Engine eng(1);
+    for (std::size_t n : {1u, 3u, 7u}) {
+        const Matrix a = nofis::rng::standard_normal_matrix(eng, n, n);
+        const Matrix i = Matrix::identity(n);
+        EXPECT_LT(nofis::linalg::max_abs_diff(a.matmul(i), a), 1e-14);
+        EXPECT_LT(nofis::linalg::max_abs_diff(i.matmul(a), a), 1e-14);
+    }
+}
+
+TEST(Matrix, TransposeInvolution) {
+    nofis::rng::Engine eng(2);
+    const Matrix a = nofis::rng::standard_normal_matrix(eng, 4, 7);
+    EXPECT_EQ(a.transposed().transposed(), a);
+}
+
+TEST(Matrix, SliceAndConcat) {
+    Matrix a{{1, 2, 3}, {4, 5, 6}};
+    const Matrix c01 = a.cols_slice(0, 2);
+    EXPECT_EQ(c01.cols(), 2u);
+    EXPECT_DOUBLE_EQ(c01(1, 1), 5.0);
+    const Matrix r1 = a.rows_slice(1, 2);
+    EXPECT_EQ(r1.rows(), 1u);
+    EXPECT_DOUBLE_EQ(r1(0, 2), 6.0);
+    const Matrix h = c01.hcat(a.cols_slice(2, 3));
+    EXPECT_EQ(h, a);
+    const Matrix v = a.rows_slice(0, 1).vcat(r1);
+    EXPECT_EQ(v, a);
+}
+
+TEST(Matrix, SelectScatterRoundTrip) {
+    Matrix a{{1, 2, 3, 4}, {5, 6, 7, 8}};
+    const std::size_t idx[] = {0, 2};
+    const Matrix sel = a.select_cols(idx);
+    EXPECT_DOUBLE_EQ(sel(1, 1), 7.0);
+    Matrix b(2, 4);
+    b.scatter_cols(idx, sel);
+    EXPECT_DOUBLE_EQ(b(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(b(0, 2), 3.0);
+    EXPECT_DOUBLE_EQ(b(0, 1), 0.0);
+}
+
+TEST(Matrix, Reductions) {
+    Matrix a{{1, -2}, {3, 4}};
+    EXPECT_DOUBLE_EQ(a.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+    EXPECT_DOUBLE_EQ(a.min(), -2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+    EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+    EXPECT_DOUBLE_EQ(a.row_sums()(0, 0), -1.0);
+    EXPECT_DOUBLE_EQ(a.col_sums()(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(a.col_means()(0, 0), 2.0);
+    EXPECT_NEAR(a.norm(), std::sqrt(30.0), 1e-12);
+}
+
+TEST(Matrix, AddRowBroadcast) {
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix bias{{10, 20}};
+    const Matrix out = a.add_row_broadcast(bias);
+    EXPECT_DOUBLE_EQ(out(0, 0), 11.0);
+    EXPECT_DOUBLE_EQ(out(1, 1), 24.0);
+}
+
+TEST(Matrix, AllFinite) {
+    Matrix a{{1.0, 2.0}};
+    EXPECT_TRUE(a.all_finite());
+    a(0, 0) = std::nan("");
+    EXPECT_FALSE(a.all_finite());
+}
+
+// --- LU -----------------------------------------------------------------
+
+TEST(Lu, SolvesKnownSystem) {
+    const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+    const double b[] = {5.0, 10.0};
+    const auto x = nofis::linalg::solve(a, b);
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, Determinant) {
+    const Matrix a{{2.0, 0.0}, {0.0, 3.0}};
+    EXPECT_NEAR(LuDecomposition(a).determinant(), 6.0, 1e-12);
+    // Row swap flips the sign.
+    const Matrix p{{0.0, 1.0}, {1.0, 0.0}};
+    EXPECT_NEAR(LuDecomposition(p).determinant(), -1.0, 1e-12);
+    EXPECT_NEAR(LuDecomposition(a).log_abs_determinant(), std::log(6.0),
+                1e-12);
+}
+
+TEST(Lu, RejectsSingular) {
+    const Matrix s{{1.0, 2.0}, {2.0, 4.0}};
+    EXPECT_THROW(LuDecomposition{s}, std::runtime_error);
+    EXPECT_THROW(LuDecomposition{Matrix(2, 3)}, std::invalid_argument);
+}
+
+class LuProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuProperty, SolveResidualIsTiny) {
+    const std::size_t n = GetParam();
+    nofis::rng::Engine eng(100 + n);
+    const Matrix a = nofis::rng::standard_normal_matrix(eng, n, n) +
+                     Matrix::identity(n) * (2.0 * std::sqrt(n));
+    std::vector<double> b(n);
+    nofis::rng::fill_standard_normal(eng, b);
+    const auto x = LuDecomposition(a).solve(b);
+    for (std::size_t r = 0; r < n; ++r) {
+        double resid = -b[r];
+        for (std::size_t c = 0; c < n; ++c) resid += a(r, c) * x[c];
+        EXPECT_NEAR(resid, 0.0, 1e-9) << "row " << r << " n=" << n;
+    }
+}
+
+TEST_P(LuProperty, InverseTimesMatrixIsIdentity) {
+    const std::size_t n = GetParam();
+    nofis::rng::Engine eng(200 + n);
+    const Matrix a = nofis::rng::standard_normal_matrix(eng, n, n) +
+                     Matrix::identity(n) * (2.0 * std::sqrt(n));
+    const Matrix inv = nofis::linalg::inverse(a);
+    EXPECT_LT(nofis::linalg::max_abs_diff(a.matmul(inv), Matrix::identity(n)),
+              1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(ComplexLu, SolvesKnownComplexSystem) {
+    using C = std::complex<double>;
+    // [1+j, 2; 0, 3j] x = [3+j, 6j] -> x = [?, 2]
+    std::vector<C> a = {C(1, 1), C(2, 0), C(0, 0), C(0, 3)};
+    ComplexLu lu(a, 2);
+    std::vector<C> b = {C(3, 1), C(0, 6)};
+    const auto x = lu.solve(b);
+    EXPECT_NEAR(std::abs(x[1] - C(2, 0)), 0.0, 1e-12);
+    // Check residual of first equation: (1+j)x0 + 2*2 = 3+j.
+    const C r0 = C(1, 1) * x[0] + C(2, 0) * x[1] - C(3, 1);
+    EXPECT_NEAR(std::abs(r0), 0.0, 1e-12);
+}
+
+// --- Cholesky -------------------------------------------------------------
+
+TEST(Cholesky, FactorsSpdMatrix) {
+    const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+    Cholesky ch(a);
+    const Matrix& l = ch.lower();
+    // L Lᵀ == A
+    const Matrix rec = l.matmul(l.transposed());
+    EXPECT_LT(nofis::linalg::max_abs_diff(rec, a), 1e-12);
+    EXPECT_NEAR(ch.log_determinant(), std::log(8.0), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+    const Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+    EXPECT_THROW(Cholesky{a}, std::runtime_error);
+}
+
+TEST(Cholesky, SolveMatchesLu) {
+    nofis::rng::Engine eng(7);
+    const Matrix g = nofis::rng::standard_normal_matrix(eng, 5, 5);
+    const Matrix spd = g.matmul(g.transposed()) + Matrix::identity(5) * 5.0;
+    std::vector<double> b(5);
+    nofis::rng::fill_standard_normal(eng, b);
+    const auto x1 = Cholesky(spd).solve(b);
+    const auto x2 = nofis::linalg::solve(spd, b);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-9);
+}
+
+// --- Least squares -----------------------------------------------------------
+
+TEST(LeastSquares, RecoversExactLinearModel) {
+    // y = 2 + 3 t over-determined, noiseless.
+    Matrix a(10, 2);
+    std::vector<double> y(10);
+    for (std::size_t i = 0; i < 10; ++i) {
+        const double t = static_cast<double>(i);
+        a(i, 0) = 1.0;
+        a(i, 1) = t;
+        y[i] = 2.0 + 3.0 * t;
+    }
+    const auto coef = nofis::linalg::least_squares(a, y);
+    EXPECT_NEAR(coef[0], 2.0, 1e-8);
+    EXPECT_NEAR(coef[1], 3.0, 1e-8);
+}
+
+TEST(LeastSquares, WeightsDownweightOutliers) {
+    Matrix a(4, 1);
+    std::vector<double> y = {1.0, 1.0, 1.0, 100.0};
+    std::vector<double> w = {1.0, 1.0, 1.0, 1e-9};
+    for (std::size_t i = 0; i < 4; ++i) a(i, 0) = 1.0;
+    const auto coef = nofis::linalg::weighted_least_squares(a, y, w);
+    EXPECT_NEAR(coef[0], 1.0, 1e-4);
+}
+
+TEST(LeastSquares, RejectsUnderdetermined) {
+    Matrix a(1, 2, 1.0);
+    std::vector<double> y = {1.0};
+    EXPECT_THROW(nofis::linalg::least_squares(a, y), std::invalid_argument);
+}
+
+TEST(LinalgHelpers, DotAndNorm) {
+    const double a[] = {1.0, 2.0, 3.0};
+    const double b[] = {4.0, 5.0, 6.0};
+    EXPECT_DOUBLE_EQ(nofis::linalg::dot(a, b), 32.0);
+    EXPECT_NEAR(nofis::linalg::norm2(a), std::sqrt(14.0), 1e-12);
+}
+
+}  // namespace

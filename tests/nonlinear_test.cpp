@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/nonlinear.hpp"
+#include "circuit/sram.hpp"
+#include "rng/normal.hpp"
+
+namespace {
+
+using namespace nofis::circuit;
+
+// ---------------------------------------------------------------------------
+// Newton solver with diodes
+// ---------------------------------------------------------------------------
+
+TEST(Nonlinear, DiodeResistorOperatingPoint) {
+    // 5 V -> 1 kΩ -> diode to ground. KCL: (5 - v)/R = Is(e^{v/vt} - 1).
+    Netlist net(2);
+    net.add(VoltageSource{1, 0, 5.0});
+    net.add(Resistor{1, 2, 1000.0});
+    NonlinearCircuit circuit(std::move(net));
+    circuit.add(Diode{2, 0});
+
+    const auto sol = circuit.solve_dc();
+    const double v = circuit.voltage(sol, 2);
+    // Forward drop in the usual 0.5-0.8 V band, and KCL must balance.
+    EXPECT_GT(v, 0.5);
+    EXPECT_LT(v, 0.8);
+    const double i_r = (5.0 - v) / 1000.0;
+    const double i_d = 1e-14 * (std::exp(v / 0.02585) - 1.0);
+    EXPECT_NEAR(i_r, i_d, 1e-6 * i_r + 1e-12);
+}
+
+TEST(Nonlinear, DiodeReverseBiasBlocks) {
+    Netlist net(2);
+    net.add(VoltageSource{1, 0, -5.0});
+    net.add(Resistor{1, 2, 1000.0});
+    NonlinearCircuit circuit(std::move(net));
+    circuit.add(Diode{2, 0});
+    const auto sol = circuit.solve_dc();
+    // Nearly the full negative rail appears at the diode (no current).
+    EXPECT_NEAR(circuit.voltage(sol, 2), -5.0, 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// MOSFET model regions
+// ---------------------------------------------------------------------------
+
+TEST(Nonlinear, NmosRegionsAndSquareLaw) {
+    // Drain driven by ideal source: direct region checks.
+    Netlist net(2);
+    net.add(VoltageSource{1, 0, 1.5});  // drain
+    net.add(VoltageSource{2, 0, 1.0});  // gate
+    NonlinearCircuit circuit(std::move(net));
+    // NMOS: d=1, g=2, s=0; beta=1 mA/V², VT=0.4, no CLM.
+    circuit.add(Mosfet{1, 2, 0, 1e-3, 0.4, 0.0, false});
+    const auto sol = circuit.solve_dc();
+
+    const auto op = circuit.mosfet_op(sol, 0);
+    // Vov = 0.6, VDS = 1.5 > Vov -> saturation, I = beta/2 * Vov².
+    EXPECT_EQ(op.region, MosfetOp::Region::kSaturation);
+    EXPECT_NEAR(op.id, 0.5e-3 * 0.36, 1e-9);
+}
+
+TEST(Nonlinear, NmosTriodeCurrent) {
+    Netlist net(2);
+    net.add(VoltageSource{1, 0, 0.2});  // VDS = 0.2 < Vov = 0.6
+    net.add(VoltageSource{2, 0, 1.0});
+    NonlinearCircuit circuit(std::move(net));
+    circuit.add(Mosfet{1, 2, 0, 1e-3, 0.4, 0.0, false});
+    const auto op = circuit.mosfet_op(circuit.solve_dc(), 0);
+    EXPECT_EQ(op.region, MosfetOp::Region::kTriode);
+    EXPECT_NEAR(op.id, 1e-3 * (0.6 * 0.2 - 0.5 * 0.04), 1e-9);
+}
+
+TEST(Nonlinear, CutoffCarriesNoCurrent) {
+    Netlist net(2);
+    net.add(VoltageSource{1, 0, 1.0});
+    net.add(VoltageSource{2, 0, 0.2});  // below VT
+    NonlinearCircuit circuit(std::move(net));
+    circuit.add(Mosfet{1, 2, 0, 1e-3, 0.4, 0.0, false});
+    const auto op = circuit.mosfet_op(circuit.solve_dc(), 0);
+    EXPECT_EQ(op.region, MosfetOp::Region::kCutoff);
+    EXPECT_DOUBLE_EQ(op.id, 0.0);
+}
+
+TEST(Nonlinear, PmosMirrorsNmosBehaviour) {
+    // PMOS source at VDD, gate at 0, drain loaded by resistor to ground.
+    Netlist net(3);
+    net.add(VoltageSource{1, 0, 1.8});  // VDD
+    net.add(VoltageSource{2, 0, 0.0});  // gate hard low -> PMOS on
+    net.add(Resistor{3, 0, 100.0});
+    NonlinearCircuit circuit(std::move(net));
+    circuit.add(Mosfet{3, 2, 1, 2e-3, 0.4, 0.0, true});
+    const auto sol = circuit.solve_dc();
+    // Current flows into the resistor: positive drain-node voltage.
+    EXPECT_GT(circuit.voltage(sol, 3), 0.05);
+    EXPECT_LT(circuit.voltage(sol, 3), 1.8);
+}
+
+TEST(Nonlinear, CmosInverterVtcEndpointsAndMonotonicity) {
+    // Sweep a CMOS inverter input; output must fall monotonically from
+    // ~VDD to ~0.
+    const auto inverter_out = [](double vin) {
+        Netlist net(3);
+        net.add(VoltageSource{1, 0, vin});
+        net.add(VoltageSource{3, 0, 1.0});
+        NonlinearCircuit circuit(std::move(net));
+        circuit.add(Mosfet{2, 1, 0, 200e-6, 0.3, 0.05, false});
+        circuit.add(Mosfet{2, 1, 3, 80e-6, 0.3, 0.05, true});
+        std::vector<double> guess = {vin, 0.5, 1.0};
+        return circuit.voltage(circuit.solve_dc({}, guess), 2);
+    };
+    double prev = inverter_out(0.0);
+    EXPECT_GT(prev, 0.98);
+    for (double vin = 0.1; vin <= 1.001; vin += 0.1) {
+        const double v = inverter_out(vin);
+        EXPECT_LE(v, prev + 1e-9) << "VTC not monotone at vin=" << vin;
+        prev = v;
+    }
+    EXPECT_LT(prev, 0.05);
+}
+
+TEST(Nonlinear, ThrowsWhenUnconverged) {
+    Netlist net(2);
+    net.add(VoltageSource{1, 0, 5.0});
+    net.add(Resistor{1, 2, 1000.0});
+    NonlinearCircuit circuit(std::move(net));
+    circuit.add(Diode{2, 0});
+    NonlinearCircuit::SolveOptions opts;
+    opts.max_iterations = 1;  // cannot possibly converge
+    EXPECT_THROW(circuit.solve_dc(opts), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// SRAM read-SNM model
+// ---------------------------------------------------------------------------
+
+TEST(Sram, NominalSnmInPhysicalBand) {
+    SramCellModel cell;
+    const double snm =
+        cell.static_noise_margin(std::vector<double>(6, 0.0));
+    // Read SNM of a healthy 1 V cell: tens to a couple hundred mV.
+    EXPECT_GT(snm, 0.10);
+    EXPECT_LT(snm, 0.35);
+}
+
+TEST(Sram, ReadVtcIsMonotoneWithCorrectEndpoints) {
+    SramCellModel cell;
+    std::vector<double> grid(21);
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        grid[i] = static_cast<double>(i) / 20.0;
+    const auto vtc = cell.read_vtc(grid, 0.0, 0.0, 0.0);
+    EXPECT_GT(vtc.front(), 0.95);  // storing '1' with input low
+    // Read-disturb: the low level is pulled up by the access device, but
+    // must stay well below the switching threshold.
+    EXPECT_GT(vtc.back(), 0.02);
+    EXPECT_LT(vtc.back(), 0.4);
+    for (std::size_t i = 1; i < vtc.size(); ++i)
+        EXPECT_LE(vtc[i], vtc[i - 1] + 1e-9);
+}
+
+TEST(Sram, MismatchDegradesSnm) {
+    SramCellModel cell;
+    const double nominal =
+        cell.static_noise_margin(std::vector<double>(6, 0.0));
+    // Weaken the left pull-down and strengthen the left access device —
+    // the classic read-upset corner.
+    std::vector<double> bad = {2.5, 0.0, -2.5, 0.0, 0.0, 0.0};
+    EXPECT_LT(cell.static_noise_margin(bad), nominal);
+}
+
+TEST(Sram, SnmIsSymmetricUnderCellMirror) {
+    // Swapping the left and right half-cells leaves the SNM unchanged.
+    SramCellModel cell;
+    nofis::rng::Engine eng(1);
+    std::vector<double> x(6);
+    nofis::rng::fill_standard_normal(eng, x);
+    std::vector<double> mirrored = {x[3], x[4], x[5], x[0], x[1], x[2]};
+    // Exact in the continuum; the VTC grid discretisation breaks the
+    // reflection symmetry at the sub-mV level.
+    EXPECT_NEAR(cell.static_noise_margin(x),
+                cell.static_noise_margin(mirrored), 2e-3);
+}
+
+TEST(Sram, RejectsWrongDimension) {
+    SramCellModel cell;
+    EXPECT_THROW(cell.static_noise_margin(std::vector<double>(5)),
+                 std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "photonic/ybranch.hpp"
+#include "rng/normal.hpp"
+
+namespace {
+
+using nofis::photonic::YBranchModel;
+
+TEST(YBranch, NominalTransmissionInDesignWindow) {
+    YBranchModel model;
+    const std::vector<double> nominal(26, 0.0);
+    const double t = model.transmission(nominal);
+    // Nominal arm transmission sits comfortably above the 32% failure spec.
+    EXPECT_GT(t, 0.40);
+    EXPECT_LT(t, 0.55);
+}
+
+TEST(YBranch, TransmissionBoundedByUnity) {
+    YBranchModel model;
+    nofis::rng::Engine eng(1);
+    std::vector<double> x(26);
+    for (int i = 0; i < 200; ++i) {
+        nofis::rng::fill_standard_normal(eng, x);
+        const double t = model.transmission(x);
+        EXPECT_GE(t, 0.0);
+        EXPECT_LE(t, 1.0) << "energy conservation violated";
+    }
+}
+
+TEST(YBranch, DeformationReducesTransmissionOnAverage) {
+    YBranchModel model;
+    const std::vector<double> nominal(26, 0.0);
+    const double t0 = model.transmission(nominal);
+    nofis::rng::Engine eng(2);
+    std::vector<double> x(26);
+    double mean_deformed = 0.0;
+    const int n = 300;
+    for (int i = 0; i < n; ++i) {
+        nofis::rng::fill_standard_normal(eng, x);
+        for (double& v : x) v *= 2.0;  // strong deformation
+        mean_deformed += model.transmission(x);
+    }
+    mean_deformed /= n;
+    EXPECT_LT(mean_deformed, t0);
+}
+
+TEST(YBranch, WidthProfileReflectsFourierModes) {
+    YBranchModel model;
+    std::vector<double> x(26, 0.0);
+    const auto w0 = model.width_profile(x);
+    x[0] = 1.0;  // first sine mode: positive bump mid-taper
+    const auto w1 = model.width_profile(x);
+    ASSERT_EQ(w0.size(), w1.size());
+    const std::size_t mid = w0.size() / 2;
+    EXPECT_GT(w1[mid], w0[mid]);
+    // Mode 1 vanishes at the taper ends.
+    EXPECT_NEAR(w1.front(), w0.front(), 2e-3);
+    EXPECT_NEAR(w1.back(), w0.back(), 2e-3);
+}
+
+TEST(YBranch, NominalWidthTapersMonotonically) {
+    YBranchModel model;
+    const auto w = model.width_profile(std::vector<double>(26, 0.0));
+    for (std::size_t i = 1; i < w.size(); ++i) EXPECT_GT(w[i], w[i - 1]);
+    EXPECT_NEAR(w.front(), 0.5, 0.01);
+    EXPECT_NEAR(w.back(), 1.2, 0.01);
+}
+
+TEST(YBranch, SymmetricDeformationPairsGiveSimilarLoss) {
+    // T depends on the deformation through coupling² and loss terms, so
+    // x and -x give comparable (not wildly different) transmissions.
+    YBranchModel model;
+    nofis::rng::Engine eng(3);
+    std::vector<double> x(26);
+    nofis::rng::fill_standard_normal(eng, x);
+    std::vector<double> neg(x);
+    for (double& v : neg) v = -v;
+    EXPECT_NEAR(model.transmission(x), model.transmission(neg), 0.05);
+}
+
+TEST(YBranch, ConfigurableSegmentsConverge) {
+    // Halving the discretisation step changes T only slightly (the model is
+    // a consistent discretisation, not segment-count noise).
+    YBranchModel::Params p;
+    p.segments = 64;
+    YBranchModel coarse(p);
+    p.segments = 128;
+    YBranchModel fine(p);
+    nofis::rng::Engine eng(4);
+    std::vector<double> x(26);
+    nofis::rng::fill_standard_normal(eng, x);
+    EXPECT_NEAR(coarse.transmission(x), fine.transmission(x), 0.03);
+}
+
+TEST(YBranch, RejectsBadArguments) {
+    YBranchModel model;
+    EXPECT_THROW(model.transmission(std::vector<double>(3)),
+                 std::invalid_argument);
+    YBranchModel::Params p;
+    p.segments = 1;
+    EXPECT_THROW(YBranchModel{p}, std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,48 @@
+// Development-time hyperparameter sweep utility for NOFIS on any test case.
+// usage: tune <case> <lr> <tau> <clip> <nis> <reps> <E> <N> <cap> <hid> <decay> [levels...]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include "core/nofis.hpp"
+#include "rng/normal.hpp"
+#include "testcases/registry.hpp"
+using namespace nofis;
+int main(int argc, char** argv) {
+    if (argc < 2) { fprintf(stderr, "need case name\n"); return 1; }
+    auto tc = testcases::make_case(argv[1]);
+    auto b = tc->nofis_budget();
+    core::NofisConfig cfg;
+    cfg.learning_rate = argc > 2 ? atof(argv[2]) : b.learning_rate;
+    cfg.tau = argc > 3 ? atof(argv[3]) : b.tau;
+    cfg.grad_clip = argc > 4 ? atof(argv[4]) : 100.0;
+    cfg.n_is = argc > 5 ? (size_t)atoll(argv[5]) : b.n_is;
+    int reps = argc > 6 ? atoi(argv[6]) : 5;
+    cfg.epochs = argc > 7 ? (size_t)atoll(argv[7]) : b.epochs;
+    cfg.samples_per_epoch = argc > 8 ? (size_t)atoll(argv[8]) : b.samples_per_epoch;
+    cfg.scale_cap = argc > 9 ? atof(argv[9]) : 2.0;
+    size_t hid = argc > 10 ? (size_t)atoll(argv[10]) : 32;
+    cfg.hidden = {hid, hid};
+    cfg.lr_decay = argc > 11 ? atof(argv[11]) : b.lr_decay;
+    if (const char* dw = getenv("DEFW")) cfg.defensive_weight = atof(dw);
+    if (getenv("ADDITIVE")) cfg.coupling = flow::CouplingKind::kAdditive;
+    if (const char* ds = getenv("DEFS")) cfg.defensive_sigma = atof(ds);
+    std::vector<double> lv = b.levels;
+    if (argc > 12) { lv.clear(); for (int i = 12; i < argc; ++i) lv.push_back(atof(argv[i])); }
+    core::NofisEstimator est(cfg, core::LevelSchedule::manual(lv));
+    double sum_err = 0, sum_ess = 0; size_t calls = 0;
+    for (int r = 0; r < reps; ++r) {
+        rng::Engine eng(1000 + r);
+        auto run = est.run(*tc, eng);
+        double err = estimators::log_error(run.estimate.p_hat, tc->golden_pr());
+        printf("  rep %d: p=%.3e err=%.3f hits=%zu ess=%.1f insideM=%.2f\n", r,
+               run.estimate.p_hat, err, run.is_diag.hits,
+               run.is_diag.effective_sample_size,
+               run.stages.back().inside_fraction);
+        sum_err += err; sum_ess += run.is_diag.effective_sample_size;
+        calls = run.estimate.calls;
+    }
+    printf("%s lr=%g tau=%g E=%zu N=%zu nis=%zu calls=%zu: avg err=%.3f avg ess=%.1f\n",
+           argv[1], cfg.learning_rate, cfg.tau, cfg.epochs, cfg.samples_per_epoch,
+           cfg.n_is, calls, sum_err/reps, sum_ess/reps);
+    return 0;
+}
