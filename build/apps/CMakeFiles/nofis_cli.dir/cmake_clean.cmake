@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nofis_cli.dir/nofis_cli.cpp.o"
+  "CMakeFiles/nofis_cli.dir/nofis_cli.cpp.o.d"
+  "nofis_cli"
+  "nofis_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nofis_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_autolevel.dir/ablation_autolevel.cpp.o"
+  "CMakeFiles/ablation_autolevel.dir/ablation_autolevel.cpp.o.d"
+  "ablation_autolevel"
+  "ablation_autolevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_autolevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_capacity.cpp" "bench/CMakeFiles/ablation_capacity.dir/ablation_capacity.cpp.o" "gcc" "bench/CMakeFiles/ablation_capacity.dir/ablation_capacity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nofis_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_testcases.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_estimators.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_photonic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_sram.dir/extension_sram.cpp.o"
+  "CMakeFiles/extension_sram.dir/extension_sram.cpp.o.d"
+  "extension_sram"
+  "extension_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

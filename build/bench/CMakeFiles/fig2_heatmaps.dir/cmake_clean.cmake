@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_heatmaps.dir/fig2_heatmaps.cpp.o"
+  "CMakeFiles/fig2_heatmaps.dir/fig2_heatmaps.cpp.o.d"
+  "fig2_heatmaps"
+  "fig2_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_intermediate.dir/fig3_intermediate.cpp.o"
+  "CMakeFiles/fig3_intermediate.dir/fig3_intermediate.cpp.o.d"
+  "fig3_intermediate"
+  "fig3_intermediate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_intermediate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_testcase.dir/custom_testcase.cpp.o"
+  "CMakeFiles/custom_testcase.dir/custom_testcase.cpp.o.d"
+  "custom_testcase"
+  "custom_testcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_testcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

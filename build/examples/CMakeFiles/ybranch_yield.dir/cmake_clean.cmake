@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ybranch_yield.dir/ybranch_yield.cpp.o"
+  "CMakeFiles/ybranch_yield.dir/ybranch_yield.cpp.o.d"
+  "ybranch_yield"
+  "ybranch_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ybranch_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

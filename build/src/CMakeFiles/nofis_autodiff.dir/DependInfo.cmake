@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autodiff/gradcheck.cpp" "src/CMakeFiles/nofis_autodiff.dir/autodiff/gradcheck.cpp.o" "gcc" "src/CMakeFiles/nofis_autodiff.dir/autodiff/gradcheck.cpp.o.d"
+  "/root/repo/src/autodiff/ops.cpp" "src/CMakeFiles/nofis_autodiff.dir/autodiff/ops.cpp.o" "gcc" "src/CMakeFiles/nofis_autodiff.dir/autodiff/ops.cpp.o.d"
+  "/root/repo/src/autodiff/var.cpp" "src/CMakeFiles/nofis_autodiff.dir/autodiff/var.cpp.o" "gcc" "src/CMakeFiles/nofis_autodiff.dir/autodiff/var.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nofis_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nofis_autodiff.dir/autodiff/gradcheck.cpp.o"
+  "CMakeFiles/nofis_autodiff.dir/autodiff/gradcheck.cpp.o.d"
+  "CMakeFiles/nofis_autodiff.dir/autodiff/ops.cpp.o"
+  "CMakeFiles/nofis_autodiff.dir/autodiff/ops.cpp.o.d"
+  "CMakeFiles/nofis_autodiff.dir/autodiff/var.cpp.o"
+  "CMakeFiles/nofis_autodiff.dir/autodiff/var.cpp.o.d"
+  "libnofis_autodiff.a"
+  "libnofis_autodiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nofis_autodiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

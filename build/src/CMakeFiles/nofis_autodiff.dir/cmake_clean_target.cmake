@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnofis_autodiff.a"
+)

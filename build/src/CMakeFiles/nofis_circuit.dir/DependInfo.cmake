@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/ac.cpp" "src/CMakeFiles/nofis_circuit.dir/circuit/ac.cpp.o" "gcc" "src/CMakeFiles/nofis_circuit.dir/circuit/ac.cpp.o.d"
+  "/root/repo/src/circuit/charge_pump.cpp" "src/CMakeFiles/nofis_circuit.dir/circuit/charge_pump.cpp.o" "gcc" "src/CMakeFiles/nofis_circuit.dir/circuit/charge_pump.cpp.o.d"
+  "/root/repo/src/circuit/dc.cpp" "src/CMakeFiles/nofis_circuit.dir/circuit/dc.cpp.o" "gcc" "src/CMakeFiles/nofis_circuit.dir/circuit/dc.cpp.o.d"
+  "/root/repo/src/circuit/mna.cpp" "src/CMakeFiles/nofis_circuit.dir/circuit/mna.cpp.o" "gcc" "src/CMakeFiles/nofis_circuit.dir/circuit/mna.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/nofis_circuit.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/nofis_circuit.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/nonlinear.cpp" "src/CMakeFiles/nofis_circuit.dir/circuit/nonlinear.cpp.o" "gcc" "src/CMakeFiles/nofis_circuit.dir/circuit/nonlinear.cpp.o.d"
+  "/root/repo/src/circuit/opamp.cpp" "src/CMakeFiles/nofis_circuit.dir/circuit/opamp.cpp.o" "gcc" "src/CMakeFiles/nofis_circuit.dir/circuit/opamp.cpp.o.d"
+  "/root/repo/src/circuit/sram.cpp" "src/CMakeFiles/nofis_circuit.dir/circuit/sram.cpp.o" "gcc" "src/CMakeFiles/nofis_circuit.dir/circuit/sram.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "src/CMakeFiles/nofis_circuit.dir/circuit/transient.cpp.o" "gcc" "src/CMakeFiles/nofis_circuit.dir/circuit/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nofis_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nofis_circuit.dir/circuit/ac.cpp.o"
+  "CMakeFiles/nofis_circuit.dir/circuit/ac.cpp.o.d"
+  "CMakeFiles/nofis_circuit.dir/circuit/charge_pump.cpp.o"
+  "CMakeFiles/nofis_circuit.dir/circuit/charge_pump.cpp.o.d"
+  "CMakeFiles/nofis_circuit.dir/circuit/dc.cpp.o"
+  "CMakeFiles/nofis_circuit.dir/circuit/dc.cpp.o.d"
+  "CMakeFiles/nofis_circuit.dir/circuit/mna.cpp.o"
+  "CMakeFiles/nofis_circuit.dir/circuit/mna.cpp.o.d"
+  "CMakeFiles/nofis_circuit.dir/circuit/netlist.cpp.o"
+  "CMakeFiles/nofis_circuit.dir/circuit/netlist.cpp.o.d"
+  "CMakeFiles/nofis_circuit.dir/circuit/nonlinear.cpp.o"
+  "CMakeFiles/nofis_circuit.dir/circuit/nonlinear.cpp.o.d"
+  "CMakeFiles/nofis_circuit.dir/circuit/opamp.cpp.o"
+  "CMakeFiles/nofis_circuit.dir/circuit/opamp.cpp.o.d"
+  "CMakeFiles/nofis_circuit.dir/circuit/sram.cpp.o"
+  "CMakeFiles/nofis_circuit.dir/circuit/sram.cpp.o.d"
+  "CMakeFiles/nofis_circuit.dir/circuit/transient.cpp.o"
+  "CMakeFiles/nofis_circuit.dir/circuit/transient.cpp.o.d"
+  "libnofis_circuit.a"
+  "libnofis_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nofis_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

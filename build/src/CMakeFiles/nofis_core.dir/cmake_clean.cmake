@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nofis_core.dir/core/diagnostics.cpp.o"
+  "CMakeFiles/nofis_core.dir/core/diagnostics.cpp.o.d"
+  "CMakeFiles/nofis_core.dir/core/levels.cpp.o"
+  "CMakeFiles/nofis_core.dir/core/levels.cpp.o.d"
+  "CMakeFiles/nofis_core.dir/core/nofis.cpp.o"
+  "CMakeFiles/nofis_core.dir/core/nofis.cpp.o.d"
+  "libnofis_core.a"
+  "libnofis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nofis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

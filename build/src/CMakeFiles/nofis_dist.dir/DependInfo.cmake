@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/diag_gaussian.cpp" "src/CMakeFiles/nofis_dist.dir/dist/diag_gaussian.cpp.o" "gcc" "src/CMakeFiles/nofis_dist.dir/dist/diag_gaussian.cpp.o.d"
+  "/root/repo/src/dist/full_gaussian.cpp" "src/CMakeFiles/nofis_dist.dir/dist/full_gaussian.cpp.o" "gcc" "src/CMakeFiles/nofis_dist.dir/dist/full_gaussian.cpp.o.d"
+  "/root/repo/src/dist/gaussian_mixture.cpp" "src/CMakeFiles/nofis_dist.dir/dist/gaussian_mixture.cpp.o" "gcc" "src/CMakeFiles/nofis_dist.dir/dist/gaussian_mixture.cpp.o.d"
+  "/root/repo/src/dist/standard_normal.cpp" "src/CMakeFiles/nofis_dist.dir/dist/standard_normal.cpp.o" "gcc" "src/CMakeFiles/nofis_dist.dir/dist/standard_normal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nofis_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nofis_dist.dir/dist/diag_gaussian.cpp.o"
+  "CMakeFiles/nofis_dist.dir/dist/diag_gaussian.cpp.o.d"
+  "CMakeFiles/nofis_dist.dir/dist/full_gaussian.cpp.o"
+  "CMakeFiles/nofis_dist.dir/dist/full_gaussian.cpp.o.d"
+  "CMakeFiles/nofis_dist.dir/dist/gaussian_mixture.cpp.o"
+  "CMakeFiles/nofis_dist.dir/dist/gaussian_mixture.cpp.o.d"
+  "CMakeFiles/nofis_dist.dir/dist/standard_normal.cpp.o"
+  "CMakeFiles/nofis_dist.dir/dist/standard_normal.cpp.o.d"
+  "libnofis_dist.a"
+  "libnofis_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nofis_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimators/adaptive_is.cpp" "src/CMakeFiles/nofis_estimators.dir/estimators/adaptive_is.cpp.o" "gcc" "src/CMakeFiles/nofis_estimators.dir/estimators/adaptive_is.cpp.o.d"
+  "/root/repo/src/estimators/line_sampling.cpp" "src/CMakeFiles/nofis_estimators.dir/estimators/line_sampling.cpp.o" "gcc" "src/CMakeFiles/nofis_estimators.dir/estimators/line_sampling.cpp.o.d"
+  "/root/repo/src/estimators/monte_carlo.cpp" "src/CMakeFiles/nofis_estimators.dir/estimators/monte_carlo.cpp.o" "gcc" "src/CMakeFiles/nofis_estimators.dir/estimators/monte_carlo.cpp.o.d"
+  "/root/repo/src/estimators/problem.cpp" "src/CMakeFiles/nofis_estimators.dir/estimators/problem.cpp.o" "gcc" "src/CMakeFiles/nofis_estimators.dir/estimators/problem.cpp.o.d"
+  "/root/repo/src/estimators/sir.cpp" "src/CMakeFiles/nofis_estimators.dir/estimators/sir.cpp.o" "gcc" "src/CMakeFiles/nofis_estimators.dir/estimators/sir.cpp.o.d"
+  "/root/repo/src/estimators/sss.cpp" "src/CMakeFiles/nofis_estimators.dir/estimators/sss.cpp.o" "gcc" "src/CMakeFiles/nofis_estimators.dir/estimators/sss.cpp.o.d"
+  "/root/repo/src/estimators/suc.cpp" "src/CMakeFiles/nofis_estimators.dir/estimators/suc.cpp.o" "gcc" "src/CMakeFiles/nofis_estimators.dir/estimators/suc.cpp.o.d"
+  "/root/repo/src/estimators/sus.cpp" "src/CMakeFiles/nofis_estimators.dir/estimators/sus.cpp.o" "gcc" "src/CMakeFiles/nofis_estimators.dir/estimators/sus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nofis_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

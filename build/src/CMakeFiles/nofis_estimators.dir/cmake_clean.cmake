@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nofis_estimators.dir/estimators/adaptive_is.cpp.o"
+  "CMakeFiles/nofis_estimators.dir/estimators/adaptive_is.cpp.o.d"
+  "CMakeFiles/nofis_estimators.dir/estimators/line_sampling.cpp.o"
+  "CMakeFiles/nofis_estimators.dir/estimators/line_sampling.cpp.o.d"
+  "CMakeFiles/nofis_estimators.dir/estimators/monte_carlo.cpp.o"
+  "CMakeFiles/nofis_estimators.dir/estimators/monte_carlo.cpp.o.d"
+  "CMakeFiles/nofis_estimators.dir/estimators/problem.cpp.o"
+  "CMakeFiles/nofis_estimators.dir/estimators/problem.cpp.o.d"
+  "CMakeFiles/nofis_estimators.dir/estimators/sir.cpp.o"
+  "CMakeFiles/nofis_estimators.dir/estimators/sir.cpp.o.d"
+  "CMakeFiles/nofis_estimators.dir/estimators/sss.cpp.o"
+  "CMakeFiles/nofis_estimators.dir/estimators/sss.cpp.o.d"
+  "CMakeFiles/nofis_estimators.dir/estimators/suc.cpp.o"
+  "CMakeFiles/nofis_estimators.dir/estimators/suc.cpp.o.d"
+  "CMakeFiles/nofis_estimators.dir/estimators/sus.cpp.o"
+  "CMakeFiles/nofis_estimators.dir/estimators/sus.cpp.o.d"
+  "libnofis_estimators.a"
+  "libnofis_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nofis_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

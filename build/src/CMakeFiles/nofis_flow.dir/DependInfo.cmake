@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/actnorm.cpp" "src/CMakeFiles/nofis_flow.dir/flow/actnorm.cpp.o" "gcc" "src/CMakeFiles/nofis_flow.dir/flow/actnorm.cpp.o.d"
+  "/root/repo/src/flow/additive_coupling.cpp" "src/CMakeFiles/nofis_flow.dir/flow/additive_coupling.cpp.o" "gcc" "src/CMakeFiles/nofis_flow.dir/flow/additive_coupling.cpp.o.d"
+  "/root/repo/src/flow/coupling.cpp" "src/CMakeFiles/nofis_flow.dir/flow/coupling.cpp.o" "gcc" "src/CMakeFiles/nofis_flow.dir/flow/coupling.cpp.o.d"
+  "/root/repo/src/flow/coupling_stack.cpp" "src/CMakeFiles/nofis_flow.dir/flow/coupling_stack.cpp.o" "gcc" "src/CMakeFiles/nofis_flow.dir/flow/coupling_stack.cpp.o.d"
+  "/root/repo/src/flow/serialize.cpp" "src/CMakeFiles/nofis_flow.dir/flow/serialize.cpp.o" "gcc" "src/CMakeFiles/nofis_flow.dir/flow/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nofis_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nofis_flow.dir/flow/actnorm.cpp.o"
+  "CMakeFiles/nofis_flow.dir/flow/actnorm.cpp.o.d"
+  "CMakeFiles/nofis_flow.dir/flow/additive_coupling.cpp.o"
+  "CMakeFiles/nofis_flow.dir/flow/additive_coupling.cpp.o.d"
+  "CMakeFiles/nofis_flow.dir/flow/coupling.cpp.o"
+  "CMakeFiles/nofis_flow.dir/flow/coupling.cpp.o.d"
+  "CMakeFiles/nofis_flow.dir/flow/coupling_stack.cpp.o"
+  "CMakeFiles/nofis_flow.dir/flow/coupling_stack.cpp.o.d"
+  "CMakeFiles/nofis_flow.dir/flow/serialize.cpp.o"
+  "CMakeFiles/nofis_flow.dir/flow/serialize.cpp.o.d"
+  "libnofis_flow.a"
+  "libnofis_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nofis_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nofis_linalg.dir/linalg/cholesky.cpp.o"
+  "CMakeFiles/nofis_linalg.dir/linalg/cholesky.cpp.o.d"
+  "CMakeFiles/nofis_linalg.dir/linalg/least_squares.cpp.o"
+  "CMakeFiles/nofis_linalg.dir/linalg/least_squares.cpp.o.d"
+  "CMakeFiles/nofis_linalg.dir/linalg/lu.cpp.o"
+  "CMakeFiles/nofis_linalg.dir/linalg/lu.cpp.o.d"
+  "CMakeFiles/nofis_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/nofis_linalg.dir/linalg/matrix.cpp.o.d"
+  "libnofis_linalg.a"
+  "libnofis_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nofis_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nofis_nn.dir/nn/linear.cpp.o"
+  "CMakeFiles/nofis_nn.dir/nn/linear.cpp.o.d"
+  "CMakeFiles/nofis_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/nofis_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/nofis_nn.dir/nn/mlp.cpp.o"
+  "CMakeFiles/nofis_nn.dir/nn/mlp.cpp.o.d"
+  "CMakeFiles/nofis_nn.dir/nn/optimizer.cpp.o"
+  "CMakeFiles/nofis_nn.dir/nn/optimizer.cpp.o.d"
+  "CMakeFiles/nofis_nn.dir/nn/trainer.cpp.o"
+  "CMakeFiles/nofis_nn.dir/nn/trainer.cpp.o.d"
+  "libnofis_nn.a"
+  "libnofis_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nofis_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nofis_photonic.dir/photonic/ybranch.cpp.o"
+  "CMakeFiles/nofis_photonic.dir/photonic/ybranch.cpp.o.d"
+  "libnofis_photonic.a"
+  "libnofis_photonic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nofis_photonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

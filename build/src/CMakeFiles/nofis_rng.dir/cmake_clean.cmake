@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nofis_rng.dir/rng/engine.cpp.o"
+  "CMakeFiles/nofis_rng.dir/rng/engine.cpp.o.d"
+  "CMakeFiles/nofis_rng.dir/rng/normal.cpp.o"
+  "CMakeFiles/nofis_rng.dir/rng/normal.cpp.o.d"
+  "libnofis_rng.a"
+  "libnofis_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nofis_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testcases/circuit_cases.cpp" "src/CMakeFiles/nofis_testcases.dir/testcases/circuit_cases.cpp.o" "gcc" "src/CMakeFiles/nofis_testcases.dir/testcases/circuit_cases.cpp.o.d"
+  "/root/repo/src/testcases/deepnet62.cpp" "src/CMakeFiles/nofis_testcases.dir/testcases/deepnet62.cpp.o" "gcc" "src/CMakeFiles/nofis_testcases.dir/testcases/deepnet62.cpp.o.d"
+  "/root/repo/src/testcases/oscillator.cpp" "src/CMakeFiles/nofis_testcases.dir/testcases/oscillator.cpp.o" "gcc" "src/CMakeFiles/nofis_testcases.dir/testcases/oscillator.cpp.o.d"
+  "/root/repo/src/testcases/registry.cpp" "src/CMakeFiles/nofis_testcases.dir/testcases/registry.cpp.o" "gcc" "src/CMakeFiles/nofis_testcases.dir/testcases/registry.cpp.o.d"
+  "/root/repo/src/testcases/sram_case.cpp" "src/CMakeFiles/nofis_testcases.dir/testcases/sram_case.cpp.o" "gcc" "src/CMakeFiles/nofis_testcases.dir/testcases/sram_case.cpp.o.d"
+  "/root/repo/src/testcases/synthetic.cpp" "src/CMakeFiles/nofis_testcases.dir/testcases/synthetic.cpp.o" "gcc" "src/CMakeFiles/nofis_testcases.dir/testcases/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nofis_estimators.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_photonic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_autodiff.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nofis_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nofis_testcases.dir/testcases/circuit_cases.cpp.o"
+  "CMakeFiles/nofis_testcases.dir/testcases/circuit_cases.cpp.o.d"
+  "CMakeFiles/nofis_testcases.dir/testcases/deepnet62.cpp.o"
+  "CMakeFiles/nofis_testcases.dir/testcases/deepnet62.cpp.o.d"
+  "CMakeFiles/nofis_testcases.dir/testcases/oscillator.cpp.o"
+  "CMakeFiles/nofis_testcases.dir/testcases/oscillator.cpp.o.d"
+  "CMakeFiles/nofis_testcases.dir/testcases/registry.cpp.o"
+  "CMakeFiles/nofis_testcases.dir/testcases/registry.cpp.o.d"
+  "CMakeFiles/nofis_testcases.dir/testcases/sram_case.cpp.o"
+  "CMakeFiles/nofis_testcases.dir/testcases/sram_case.cpp.o.d"
+  "CMakeFiles/nofis_testcases.dir/testcases/synthetic.cpp.o"
+  "CMakeFiles/nofis_testcases.dir/testcases/synthetic.cpp.o.d"
+  "libnofis_testcases.a"
+  "libnofis_testcases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nofis_testcases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

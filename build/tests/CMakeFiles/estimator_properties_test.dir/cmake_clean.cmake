@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_properties_test.dir/estimator_properties_test.cpp.o"
+  "CMakeFiles/estimator_properties_test.dir/estimator_properties_test.cpp.o.d"
+  "estimator_properties_test"
+  "estimator_properties_test.pdb"
+  "estimator_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_layers_test.dir/flow_layers_test.cpp.o"
+  "CMakeFiles/flow_layers_test.dir/flow_layers_test.cpp.o.d"
+  "flow_layers_test"
+  "flow_layers_test.pdb"
+  "flow_layers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_layers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

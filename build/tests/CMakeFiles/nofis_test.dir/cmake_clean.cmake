@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nofis_test.dir/nofis_test.cpp.o"
+  "CMakeFiles/nofis_test.dir/nofis_test.cpp.o.d"
+  "nofis_test"
+  "nofis_test.pdb"
+  "nofis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nofis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nonlinear_test.dir/nonlinear_test.cpp.o"
+  "CMakeFiles/nonlinear_test.dir/nonlinear_test.cpp.o.d"
+  "nonlinear_test"
+  "nonlinear_test.pdb"
+  "nonlinear_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nonlinear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

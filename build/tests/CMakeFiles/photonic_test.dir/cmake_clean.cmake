@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photonic_test.dir/photonic_test.cpp.o"
+  "CMakeFiles/photonic_test.dir/photonic_test.cpp.o.d"
+  "photonic_test"
+  "photonic_test.pdb"
+  "photonic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photonic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

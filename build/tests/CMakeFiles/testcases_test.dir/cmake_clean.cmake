@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testcases_test.dir/testcases_test.cpp.o"
+  "CMakeFiles/testcases_test.dir/testcases_test.cpp.o.d"
+  "testcases_test"
+  "testcases_test.pdb"
+  "testcases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testcases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
