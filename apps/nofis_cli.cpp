@@ -9,7 +9,12 @@
 //   nofis_cli levels --case Opamp [--num 5] [--pilot 500] [--seed 1]
 //       Print an automatically selected nested-subset schedule.
 //   nofis_cli train --case Leaf --save leaf.nofisflow [--seed 1]
-//       Train the NOFIS proposal at the case budget and serialise it.
+//            [--inject-nan 0.05] [--inject-throw 0.01] [--policy retry]
+//       Train the NOFIS proposal at the case budget and serialise it,
+//       printing the run-health summary (faults, rollbacks, proposal
+//       quality). The --inject-* flags wrap the case in the deterministic
+//       fault injector to exercise the guardrails; --policy selects the
+//       guard response (retry | clamp | propagate).
 //   nofis_cli reuse --case Leaf --load leaf.nofisflow [--nis 5000] [--seed 2]
 //       Reload a trained proposal and draw a fresh importance-sampling
 //       estimate without retraining.
@@ -20,6 +25,7 @@
 #include "../bench/bench_common.hpp"
 #include "core/levels.hpp"
 #include "flow/serialize.hpp"
+#include "testcases/fault_injector.hpp"
 
 namespace {
 
@@ -91,22 +97,58 @@ int cmd_levels(int argc, char** argv) {
     return 0;
 }
 
+estimators::GuardConfig::Policy parse_policy(const std::string& name) {
+    using Policy = estimators::GuardConfig::Policy;
+    if (name == "retry") return Policy::kRetryPerturb;
+    if (name == "clamp") return Policy::kClampToFail;
+    if (name == "propagate") return Policy::kPropagate;
+    std::fprintf(stderr, "warning: unknown policy '%s', using retry\n",
+                 name.c_str());
+    return Policy::kRetryPerturb;
+}
+
 int cmd_train(int argc, char** argv) {
     const std::string case_name = arg_value(argc, argv, "--case", "Leaf");
     const std::string path =
         arg_value(argc, argv, "--save", case_name + ".nofisflow");
     const auto seed = std::strtoull(
         arg_value(argc, argv, "--seed", "1").c_str(), nullptr, 10);
+    const double nan_rate =
+        std::strtod(arg_value(argc, argv, "--inject-nan", "0").c_str(),
+                    nullptr);
+    const double throw_rate =
+        std::strtod(arg_value(argc, argv, "--inject-throw", "0").c_str(),
+                    nullptr);
 
     const auto tc = testcases::make_case(case_name);
     const auto budget = tc->nofis_budget();
-    core::NofisEstimator est(nofis_config_from_budget(budget),
+    auto cfg = nofis_config_from_budget(budget);
+    cfg.guard.policy =
+        parse_policy(arg_value(argc, argv, "--policy", "retry"));
+    core::NofisEstimator est(cfg,
                              core::LevelSchedule::manual(budget.levels));
+
+    // Optional deterministic fault injection, for exercising the guardrails
+    // against a known fault load.
+    testcases::FaultInjectorConfig icfg;
+    icfg.nan_rate = nan_rate;
+    icfg.throw_rate = throw_rate;
+    icfg.seed = seed;
+    const testcases::FaultInjector injected(*tc, icfg);
+    const estimators::RareEventProblem& problem =
+        (nan_rate > 0.0 || throw_rate > 0.0)
+            ? static_cast<const estimators::RareEventProblem&>(injected)
+            : *tc;
+
     rng::Engine eng(seed);
-    auto run = est.run(*tc, eng);
+    auto run = est.run(problem, eng);
     std::printf("trained %s: p = %.4e (calls %zu, log-err %.3f)\n",
                 case_name.c_str(), run.estimate.p_hat, run.estimate.calls,
                 estimators::log_error(run.estimate.p_hat, tc->golden_pr()));
+    std::printf("%s\n", run.health.summary().c_str());
+    if (nan_rate > 0.0 || throw_rate > 0.0)
+        std::printf("injector: %zu fault(s) injected over %zu call(s)\n",
+                    injected.injected_total(), injected.calls());
     flow::save_stack(*run.flow, path);
     std::printf("proposal saved to %s\n", path.c_str());
     return 0;
@@ -135,10 +177,10 @@ int cmd_reuse(int argc, char** argv) {
     std::printf("reused proposal from %s on %s:\n", path.c_str(),
                 case_name.c_str());
     std::printf("  p = %.4e  calls = %zu  log-err = %.3f  hits = %zu  "
-                "ESS = %.1f\n",
+                "ESS = %.1f  ESS(all) = %.1f  weight-CV = %.2f\n",
                 res.p_hat, res.calls,
                 estimators::log_error(res.p_hat, tc->golden_pr()), diag.hits,
-                diag.effective_sample_size);
+                diag.effective_sample_size, diag.ess_all, diag.weight_cv);
     return 0;
 }
 

@@ -6,6 +6,7 @@
 
 #include "circuit/mna.hpp"
 #include "linalg/lu.hpp"
+#include "linalg/solver_error.hpp"
 
 namespace nofis::circuit {
 
@@ -102,6 +103,10 @@ std::vector<double> NonlinearCircuit::solve_dc(
     if (!initial.empty()) {
         if (initial.size() > n)
             throw std::invalid_argument("NonlinearCircuit: bad initial size");
+        for (double v : initial)
+            if (!std::isfinite(v))
+                throw BadInputError(
+                    "NonlinearCircuit: non-finite initial guess");
         std::copy(initial.begin(), initial.end(), x.begin());
     }
 
@@ -172,7 +177,7 @@ std::vector<double> NonlinearCircuit::solve_dc(
         }
         if (max_step < opts.tolerance) return x;
     }
-    throw std::runtime_error("NonlinearCircuit: Newton failed to converge");
+    throw NonConvergenceError("NonlinearCircuit: Newton failed to converge");
 }
 
 }  // namespace nofis::circuit

@@ -1,8 +1,23 @@
 #include "core/diagnostics.hpp"
 
+#include <iomanip>
 #include <sstream>
 
 namespace nofis::core {
+
+std::string RunHealth::summary() const {
+    std::ostringstream os;
+    os << "run health: " << (degraded() ? "DEGRADED" : "clean") << '\n';
+    os << "  g-faults: " << faults.summary() << '\n';
+    os << "  stage rollbacks: " << stage_retries << " retr"
+       << (stage_retries == 1 ? "y" : "ies") << " across "
+       << stages_rolled_back << " stage(s), " << skipped_epochs
+       << " epoch(s) skipped\n";
+    os << std::setprecision(4) << "  proposal: ESS(hits) = " << final_ess
+       << ", ESS(all) = " << ess_all << ", max weight = " << max_weight
+       << ", weight CV = " << weight_cv;
+    return os.str();
+}
 
 std::string loss_curve_csv(const std::vector<StageDiagnostics>& stages) {
     std::ostringstream os;

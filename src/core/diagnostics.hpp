@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "estimators/guarded_problem.hpp"
+
 namespace nofis::core {
 
 /// Per-stage training record (Figure 3(e) of the paper plots exactly this:
@@ -14,6 +16,17 @@ struct StageDiagnostics {
     /// Fraction of the stage's final-epoch samples inside Ω_{a_m} — a cheap
     /// health indicator (should climb toward ~1 as the proposal locks on).
     double inside_fraction = 0.0;
+
+    // --- rollback-retry telemetry -------------------------------------------
+    /// Times this stage was rolled back to its checkpoint and retrained
+    /// (each retry restores parameters, shrinks the LR, and tightens the
+    /// grad-clip / scale-cap).
+    std::size_t retries = 0;
+    /// Human-readable trigger per retry ("non-finite KL loss", ...).
+    std::vector<std::string> retry_reasons;
+    /// Epochs whose update was skipped because divergence persisted after
+    /// the retry budget was exhausted (legacy skip-and-continue behaviour).
+    std::size_t skipped_epochs = 0;
 };
 
 /// Diagnostics for the final importance-sampling estimate.
@@ -21,6 +34,37 @@ struct IsDiagnostics {
     double max_weight = 0.0;        ///< largest p/q ratio observed
     double effective_sample_size = 0.0;  ///< (Σw)² / Σw² over hit samples
     std::size_t hits = 0;           ///< samples that landed inside Ω
+    std::size_t draws = 0;          ///< total proposal draws (N_IS)
+
+    // Proposal-quality early warnings, computed over the *raw* importance
+    // weights p/q of ALL draws (no failure indicator). A collapsing
+    // proposal shows up here as ess_all ≪ draws and weight_cv ≫ 1 long
+    // before the hit-restricted ESS reacts.
+    double ess_all = 0.0;    ///< (Σw)² / Σw² over every proposal draw
+    double weight_cv = 0.0;  ///< std(w) / mean(w) over every proposal draw
+};
+
+/// End-to-end health of one NofisEstimator::run: g-evaluation faults, stage
+/// rollbacks, and the final proposal-quality numbers in one place. Printed
+/// by the CLI after training and carried in RunResult for callers that
+/// alert on degraded runs.
+struct RunHealth {
+    estimators::FaultReport faults;  ///< guarded g/g_grad fault ledger
+    std::size_t g_retry_calls = 0;   ///< extra g calls spent on fault retries
+    std::size_t stage_retries = 0;   ///< rollback-retries across all stages
+    std::size_t stages_rolled_back = 0;  ///< stages that needed ≥ 1 rollback
+    std::size_t skipped_epochs = 0;  ///< epochs dropped after retry budget
+    double final_ess = 0.0;          ///< hit-restricted ESS of the estimate
+    double ess_all = 0.0;            ///< all-draw ESS (proposal quality)
+    double max_weight = 0.0;
+    double weight_cv = 0.0;
+
+    bool degraded() const noexcept {
+        return faults.total_faults() > 0 || stage_retries > 0 ||
+               skipped_epochs > 0;
+    }
+    /// Multi-line human-readable digest for CLI output / logs.
+    std::string summary() const;
 };
 
 /// Serialises a loss curve as "epoch,loss" CSV lines (bench figure output).

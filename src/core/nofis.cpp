@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "autodiff/ops.hpp"
 #include "dist/diag_gaussian.hpp"
+#include "flow/serialize.hpp"
 #include "nn/optimizer.hpp"
 #include "rng/normal.hpp"
 
@@ -36,7 +38,11 @@ NofisEstimator::RunResult NofisEstimator::run(
     const estimators::RareEventProblem& problem, rng::Engine& eng) const {
     const std::size_t d = problem.dim();
     const std::size_t num_stages = levels_.num_levels();
-    CountedProblem counted(problem);
+    // Every g / g_grad evaluation goes through the fault guard; faults are
+    // resolved per cfg_.guard and tallied for RunHealth. A fault-free run
+    // is bit-identical to the unguarded path.
+    estimators::GuardedProblem guarded(problem, cfg_.guard);
+    CountedProblem counted(guarded);
 
     flow::StackConfig scfg;
     scfg.dim = d;
@@ -55,7 +61,17 @@ NofisEstimator::RunResult NofisEstimator::run(
     const std::size_t n = cfg_.samples_per_epoch;
     std::vector<double> grad_buf(d);
 
-    for (std::size_t m = 1; m <= num_stages; ++m) {
+    // One training pass over stage m at (lr0, clip). In abort mode the pass
+    // stops at the first divergence signal so the caller can roll back; in
+    // legacy mode (retry budget exhausted) divergent epochs are skipped and
+    // the pass always completes.
+    struct StageOutcome {
+        bool diverged = false;
+        const char* reason = "";
+    };
+    auto train_stage = [&](std::size_t m, double lr0, double clip,
+                           bool abort_on_divergence,
+                           StageDiagnostics& diag) -> StageOutcome {
         const double a_m = levels_.level(m - 1);
         const std::size_t block = m - 1;
 
@@ -69,12 +85,11 @@ NofisEstimator::RunResult NofisEstimator::run(
                 for (auto& p : stack->block_params(b))
                     train_params.push_back(p);
         }
-        nn::Adam opt(train_params, cfg_.learning_rate);
-        double stage_lr = cfg_.learning_rate;
+        nn::Adam opt(train_params, lr0);
+        double stage_lr = lr0;
 
-        StageDiagnostics diag;
-        diag.stage = m;
-        diag.level = a_m;
+        diag.epoch_loss.clear();
+        diag.inside_fraction = 0.0;
 
         for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
             const Matrix z0 = rng::standard_normal_matrix(eng, n, d);
@@ -92,8 +107,11 @@ NofisEstimator::RunResult NofisEstimator::run(
             const Matrix& z = fwd.z.value();
 
             if (!z.all_finite()) {
+                if (abort_on_divergence)
+                    return {true, "non-finite flow output"};
                 // Flow blew up this epoch; skip the update rather than
                 // poisoning Adam's moments with NaNs.
+                ++diag.skipped_epochs;
                 diag.epoch_loss.push_back(
                     diag.epoch_loss.empty() ? 0.0 : diag.epoch_loss.back());
                 continue;
@@ -107,6 +125,12 @@ NofisEstimator::RunResult NofisEstimator::run(
             for (std::size_t r = 0; r < n; ++r) {
                 const auto zr = z.row_span(r);
                 const double gv = counted.g(zr);
+                if (!std::isfinite(gv)) {
+                    // A non-finite g slipped through the guard (propagate
+                    // policy): the tempered target is undefined, so poison
+                    // the loss instead of silently zeroing the weight.
+                    target_value = std::numeric_limits<double>::quiet_NaN();
+                }
                 if (gv <= a_m) inside += 1.0;
                 target_value += tempered_log_weight(cfg_.tau, a_m, gv) +
                                 rng::standard_normal_log_pdf(zr);
@@ -114,7 +138,7 @@ NofisEstimator::RunResult NofisEstimator::run(
                     // Backward through the same simulation point is free
                     // under the paper's autograd accounting (see
                     // RareEventProblem::g_grad).
-                    problem.g_grad(zr, grad_buf);
+                    guarded.g_grad(zr, grad_buf);
                     for (std::size_t c = 0; c < d; ++c)
                         target_grad(r, c) = -cfg_.tau * grad_buf[c];
                 }
@@ -136,7 +160,9 @@ NofisEstimator::RunResult NofisEstimator::run(
             for (double v : frozen_log_det) mean_log_det += v * inv_n;
             const double true_loss = -mean_log_det - target_value;
 
-            if (!std::isfinite(true_loss)) {
+            if (!std::isfinite(true_loss) || !target_grad.all_finite()) {
+                if (abort_on_divergence) return {true, "non-finite KL loss"};
+                ++diag.skipped_epochs;
                 diag.epoch_loss.push_back(
                     diag.epoch_loss.empty() ? 0.0 : diag.epoch_loss.back());
                 continue;
@@ -144,7 +170,12 @@ NofisEstimator::RunResult NofisEstimator::run(
 
             opt.zero_grad();
             graph_loss.backward();
-            opt.clip_grad_norm(cfg_.grad_clip);
+            const double grad_norm =
+                opt.clip_gradients(cfg_.grad_clip_mode, clip);
+            if (abort_on_divergence &&
+                (!std::isfinite(grad_norm) ||
+                 grad_norm > cfg_.grad_explode_factor * clip))
+                return {true, "exploding gradient norm"};
             opt.set_learning_rate(stage_lr);
             opt.step();
             stage_lr *= cfg_.lr_decay;
@@ -152,17 +183,67 @@ NofisEstimator::RunResult NofisEstimator::run(
             diag.epoch_loss.push_back(true_loss);
             diag.inside_fraction = inside;
         }
+
+        if (abort_on_divergence &&
+            diag.inside_fraction < cfg_.min_inside_fraction)
+            return {true, "inside-fraction collapse"};
+        return {};
+    };
+
+    for (std::size_t m = 1; m <= num_stages; ++m) {
+        StageDiagnostics diag;
+        diag.stage = m;
+        diag.level = levels_.level(m - 1);
+
+        // Checkpoint before the stage touches any parameter; rolled-back
+        // retries restart training from exactly this state.
+        const flow::ParamSnapshot checkpoint = flow::snapshot_params(*stack);
+        double lr = cfg_.learning_rate;
+        double clip = cfg_.grad_clip;
+
+        for (std::size_t attempt = 0;; ++attempt) {
+            const bool last_attempt = attempt >= cfg_.stage_max_retries;
+            const StageOutcome out =
+                train_stage(m, lr, clip, !last_attempt, diag);
+            if (!out.diverged || last_attempt) break;
+
+            flow::restore_params(*stack, checkpoint);
+            stack->tighten_scale_cap(m - 1, cfg_.retry_scale_cap_factor);
+            lr *= cfg_.retry_lr_factor;
+            clip *= cfg_.retry_grad_clip_factor;
+            ++diag.retries;
+            diag.retry_reasons.emplace_back(out.reason);
+        }
         result.stages.push_back(std::move(diag));
     }
 
-    // Final importance-sampling estimate with q_MK (Eq. 2).
+    // Final importance-sampling estimate with q_MK (Eq. 2), still guarded.
     IsDiagnostics is_diag;
     EstimateResult est =
-        importance_estimate(*stack, problem, eng, cfg_.n_is, &is_diag,
+        importance_estimate(*stack, guarded, eng, cfg_.n_is, &is_diag,
                             cfg_.defensive_weight, cfg_.defensive_sigma);
-    est.calls += counted.calls();
+    // Honest budget: training calls + fault-retry evaluations on top of the
+    // N_IS already counted by importance_estimate.
+    est.calls += counted.calls() + guarded.report().retry_attempts;
+
+    RunHealth health;
+    health.faults = guarded.report();
+    health.g_retry_calls = guarded.report().retry_attempts;
+    for (const auto& s : result.stages) {
+        health.stage_retries += s.retries;
+        if (s.retries > 0) ++health.stages_rolled_back;
+        health.skipped_epochs += s.skipped_epochs;
+    }
+    health.final_ess = is_diag.effective_sample_size;
+    health.ess_all = is_diag.ess_all;
+    health.max_weight = is_diag.max_weight;
+    health.weight_cv = is_diag.weight_cv;
+    if (health.degraded() && est.detail.empty())
+        est.detail = health.faults.summary();
+
     result.estimate = est;
     result.is_diag = is_diag;
+    result.health = std::move(health);
     result.flow = std::move(stack);
     return result;
 }
@@ -230,18 +311,27 @@ EstimateResult NofisEstimator::importance_estimate(
 
     double total = 0.0;
     IsDiagnostics d;
+    d.draws = n_is;
     double sum_w = 0.0;
     double sum_w2 = 0.0;
+    // Raw-weight moments over ALL draws (no failure indicator): the
+    // standard early warnings for proposal collapse — a low all-draw ESS or
+    // a large weight CV flags a mismatched q long before the hit-restricted
+    // ESS reacts.
+    double all_sum_w = 0.0;
+    double all_sum_w2 = 0.0;
     for (std::size_t r = 0; r < n_is; ++r) {
         const auto zr = z.row_span(r);
+        const double raw_w =
+            std::exp(rng::standard_normal_log_pdf(zr) - log_q[r]);
+        all_sum_w += raw_w;
+        all_sum_w2 += raw_w * raw_w;
         const double gv = counted.g(zr);
         if (gv > 0.0) continue;
-        const double log_w = rng::standard_normal_log_pdf(zr) - log_q[r];
-        const double w = std::exp(log_w);
-        total += w;
-        sum_w += w;
-        sum_w2 += w * w;
-        d.max_weight = std::max(d.max_weight, w);
+        total += raw_w;
+        sum_w += raw_w;
+        sum_w2 += raw_w * raw_w;
+        d.max_weight = std::max(d.max_weight, raw_w);
         ++d.hits;
     }
     EstimateResult res;
@@ -250,6 +340,15 @@ EstimateResult NofisEstimator::importance_estimate(
     res.failed = !std::isfinite(res.p_hat);
     d.effective_sample_size =
         sum_w2 > 0.0 ? (sum_w * sum_w) / sum_w2 : 0.0;
+    d.ess_all =
+        all_sum_w2 > 0.0 ? (all_sum_w * all_sum_w) / all_sum_w2 : 0.0;
+    if (n_is > 0 && all_sum_w > 0.0) {
+        const double mean_w = all_sum_w / static_cast<double>(n_is);
+        const double var_w =
+            std::max(all_sum_w2 / static_cast<double>(n_is) - mean_w * mean_w,
+                     0.0);
+        d.weight_cv = std::sqrt(var_w) / mean_w;
+    }
     if (diag != nullptr) *diag = d;
     return res;
 }

@@ -4,8 +4,10 @@
 
 #include "core/diagnostics.hpp"
 #include "core/levels.hpp"
+#include "estimators/guarded_problem.hpp"
 #include "estimators/problem.hpp"
 #include "flow/coupling_stack.hpp"
+#include "nn/optimizer.hpp"
 
 namespace nofis::core {
 
@@ -41,6 +43,33 @@ struct NofisConfig {
     /// Powell). 0 disables (the paper's plain Eq. 2 estimator).
     double defensive_weight = 0.0;
     double defensive_sigma = 1.5;
+
+    // --- fault-tolerant runtime (DESIGN.md, "Failure handling & recovery").
+    /// Policy for faulty g / g_grad evaluations. Every call the estimator
+    /// makes is routed through an estimators::GuardedProblem built from
+    /// this; fault-free runs are bit-identical to the unguarded path.
+    estimators::GuardConfig guard;
+    /// R — rollback-retries per stage. Before each stage the flow
+    /// parameters are checkpointed; when the stage diverges (non-finite KL
+    /// loss / flow output, exploding gradient norm, or inside-fraction
+    /// collapse) the checkpoint is restored and the stage retrained with
+    /// the factors below applied per retry. After R failed retries the
+    /// stage runs once more in the legacy skip-bad-epochs mode so the run
+    /// always completes. 0 disables rollback entirely.
+    std::size_t stage_max_retries = 2;
+    double retry_lr_factor = 0.5;         ///< learning-rate shrink per retry
+    double retry_grad_clip_factor = 0.5;  ///< grad-clip tighten per retry
+    double retry_scale_cap_factor = 0.7;  ///< coupling scale-cap tighten
+    /// Stage-end divergence test: final inside_fraction below this triggers
+    /// a rollback (0 disables — the paper's level schedules keep the
+    /// nominal fraction well above any sensible threshold).
+    double min_inside_fraction = 0.0;
+    /// Pre-clip gradient norm above `grad_explode_factor * grad_clip`
+    /// counts as divergence.
+    double grad_explode_factor = 100.0;
+    /// Direction-preserving global-norm clipping by default; kPerValue
+    /// reproduces earlier per-component clamping benches.
+    nn::GradClipMode grad_clip_mode = nn::GradClipMode::kGlobalNorm;
 };
 
 /// Normalizing-flow assisted importance sampling (the paper's contribution).
@@ -55,7 +84,10 @@ struct NofisConfig {
 /// proposal.
 ///
 /// Total g-call budget: M·E·N + N_IS (+ pilot calls if auto levels are used
-/// by the caller), matching the paper's accounting.
+/// by the caller), matching the paper's accounting. Degraded runs charge
+/// every extra evaluation honestly: fault-retry g calls and the fresh
+/// batches of rolled-back stages are added on top, so reported `calls`
+/// never undercounts simulator work.
 class NofisEstimator final : public estimators::Estimator {
 public:
     NofisEstimator(NofisConfig cfg, LevelSchedule levels);
@@ -72,6 +104,7 @@ public:
         estimators::EstimateResult estimate;
         std::vector<StageDiagnostics> stages;
         IsDiagnostics is_diag;
+        RunHealth health;  ///< faults, rollbacks, proposal-quality signals
         std::unique_ptr<flow::CouplingStack> flow;  ///< trained model
     };
     RunResult run(const estimators::RareEventProblem& problem,

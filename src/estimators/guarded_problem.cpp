@@ -1,0 +1,215 @@
+#include "estimators/guarded_problem.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "linalg/solver_error.hpp"
+#include "rng/normal.hpp"
+
+namespace nofis::estimators {
+
+namespace {
+
+FaultKind classify(const SolverError& e) noexcept {
+    switch (e.kind()) {
+        case SolverError::Kind::kSingularMatrix:
+            return FaultKind::kSingularMatrix;
+        case SolverError::Kind::kNonConvergence:
+            return FaultKind::kNonConvergence;
+        case SolverError::Kind::kBadInput:
+            return FaultKind::kBadInput;
+    }
+    return FaultKind::kOtherException;
+}
+
+bool all_finite(std::span<const double> v) noexcept {
+    for (double x : v)
+        if (!std::isfinite(x)) return false;
+    return true;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+    switch (kind) {
+        case FaultKind::kSingularMatrix: return "singular-matrix";
+        case FaultKind::kNonConvergence: return "non-convergence";
+        case FaultKind::kBadInput: return "bad-input";
+        case FaultKind::kNonFiniteValue: return "non-finite-value";
+        case FaultKind::kNonFiniteGrad: return "non-finite-grad";
+        case FaultKind::kOtherException: return "other-exception";
+        case FaultKind::kCount: break;
+    }
+    return "unknown";
+}
+
+std::size_t FaultReport::total_faults() const noexcept {
+    std::size_t total = 0;
+    for (std::size_t c : counts) total += c;
+    return total;
+}
+
+void FaultReport::merge(const FaultReport& other) {
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i] += other.counts[i];
+    retry_attempts += other.retry_attempts;
+    recovered += other.recovered;
+    clamped += other.clamped;
+    propagated += other.propagated;
+    if (!has_first && other.has_first) {
+        has_first = true;
+        first_kind = other.first_kind;
+        first_message = other.first_message;
+        first_x = other.first_x;
+        first_call_index = other.first_call_index;
+    }
+}
+
+std::string FaultReport::summary() const {
+    std::ostringstream os;
+    os << total_faults() << " fault(s)";
+    if (total_faults() > 0) {
+        os << " (";
+        bool first = true;
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            if (counts[i] == 0) continue;
+            if (!first) os << ", ";
+            os << fault_kind_name(static_cast<FaultKind>(i)) << ":"
+               << counts[i];
+            first = false;
+        }
+        os << ")";
+    }
+    os << ", " << retry_attempts << " retry call(s), " << recovered
+       << " recovered, " << clamped << " clamped, " << propagated
+       << " propagated";
+    if (has_first)
+        os << "; first: " << fault_kind_name(first_kind) << " at call #"
+           << first_call_index << " (" << first_message << ")";
+    return os.str();
+}
+
+GuardedProblem::GuardedProblem(const RareEventProblem& inner, GuardConfig cfg)
+    : inner_(&inner), cfg_(cfg), jitter_(cfg.seed) {}
+
+void GuardedProblem::record(FaultKind kind, const std::string& message,
+                            std::span<const double> x) const {
+    ++report_.counts[static_cast<std::size_t>(kind)];
+    if (!report_.has_first) {
+        report_.has_first = true;
+        report_.first_kind = kind;
+        report_.first_message = message;
+        report_.first_x.assign(x.begin(), x.end());
+        report_.first_call_index = call_index_;
+    }
+}
+
+bool GuardedProblem::attempt(std::span<const double> x,
+                             std::span<double> grad_out, double& value,
+                             FaultKind& kind, std::string& message,
+                             std::exception_ptr& eptr) const {
+    try {
+        value = grad_out.empty() ? inner_->g(x) : inner_->g_grad(x, grad_out);
+    } catch (const SolverError& e) {
+        kind = classify(e);
+        message = e.what();
+        eptr = std::current_exception();
+        record(kind, message, x);
+        return false;
+    } catch (const std::invalid_argument& e) {
+        kind = FaultKind::kBadInput;
+        message = e.what();
+        eptr = std::current_exception();
+        record(kind, message, x);
+        return false;
+    } catch (const std::domain_error& e) {
+        kind = FaultKind::kBadInput;
+        message = e.what();
+        eptr = std::current_exception();
+        record(kind, message, x);
+        return false;
+    } catch (const std::exception& e) {
+        kind = FaultKind::kOtherException;
+        message = e.what();
+        eptr = std::current_exception();
+        record(kind, message, x);
+        return false;
+    }
+    eptr = nullptr;
+    if (!std::isfinite(value)) {
+        kind = FaultKind::kNonFiniteValue;
+        message = "g returned a non-finite value";
+        record(kind, message, x);
+        return false;
+    }
+    if (!grad_out.empty() && !all_finite(grad_out)) {
+        kind = FaultKind::kNonFiniteGrad;
+        message = "g_grad produced a non-finite component";
+        record(kind, message, x);
+        return false;
+    }
+    return true;
+}
+
+double GuardedProblem::resolve(std::span<const double> x,
+                               std::span<double> grad_out, FaultKind kind,
+                               std::exception_ptr eptr) const {
+    using Policy = GuardConfig::Policy;
+    if (cfg_.policy == Policy::kPropagate) {
+        ++report_.propagated;
+        // Thrown faults pass through untouched; non-finite results are not
+        // exceptions, so hand a quiet NaN back to the caller.
+        if (eptr) std::rethrow_exception(eptr);
+        return std::numeric_limits<double>::quiet_NaN();
+    }
+
+    if (cfg_.policy == Policy::kRetryPerturb) {
+        std::vector<double> probe(x.begin(), x.end());
+        for (std::size_t attempt_i = 0; attempt_i < cfg_.max_retries;
+             ++attempt_i) {
+            for (std::size_t i = 0; i < probe.size(); ++i)
+                probe[i] =
+                    x[i] + cfg_.perturb_sigma * rng::standard_normal(jitter_);
+            ++report_.retry_attempts;
+            double value = 0.0;
+            FaultKind k2 = kind;
+            std::string m2;
+            std::exception_ptr e2;
+            if (attempt(probe, grad_out, value, k2, m2, e2)) {
+                ++report_.recovered;
+                return value;
+            }
+        }
+    }
+
+    // Clamp-to-fail: the sample is pushed far outside Ω (g >> 0), so it is
+    // classified as "no failure" and carries zero importance weight. Also
+    // the fallback once retries are exhausted.
+    ++report_.clamped;
+    for (double& gi : grad_out) gi = 0.0;
+    return cfg_.clamp_value;
+}
+
+double GuardedProblem::g(std::span<const double> x) const {
+    ++call_index_;
+    double value = 0.0;
+    FaultKind kind = FaultKind::kOtherException;
+    std::string message;
+    std::exception_ptr eptr;
+    if (attempt(x, {}, value, kind, message, eptr)) return value;
+    return resolve(x, {}, kind, eptr);
+}
+
+double GuardedProblem::g_grad(std::span<const double> x,
+                              std::span<double> grad_out) const {
+    ++call_index_;
+    double value = 0.0;
+    FaultKind kind = FaultKind::kOtherException;
+    std::string message;
+    std::exception_ptr eptr;
+    if (attempt(x, grad_out, value, kind, message, eptr)) return value;
+    return resolve(x, grad_out, kind, eptr);
+}
+
+}  // namespace nofis::estimators

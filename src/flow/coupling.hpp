@@ -49,6 +49,8 @@ public:
     void set_trainable(bool trainable) override {
         net_.set_trainable(trainable);
     }
+    void scale_cap_multiply(double factor) override { scale_cap_ *= factor; }
+    double scale_cap() const noexcept { return scale_cap_; }
 
     std::span<const std::size_t> pass_indices() const noexcept { return idx_a_; }
     std::span<const std::size_t> transform_indices() const noexcept {

@@ -138,4 +138,12 @@ void CouplingStack::freeze_blocks_before(std::size_t upto_block) {
 
 void CouplingStack::unfreeze_all() { freeze_blocks_before(0); }
 
+void CouplingStack::tighten_scale_cap(std::size_t block, double factor) {
+    if (block >= cfg_.num_blocks)
+        throw std::out_of_range("CouplingStack::tighten_scale_cap");
+    for (std::size_t i = block_begin_layer(block);
+         i < block_begin_layer(block + 1); ++i)
+        layers_[i]->scale_cap_multiply(factor);
+}
+
 }  // namespace nofis::flow

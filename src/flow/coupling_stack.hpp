@@ -102,6 +102,11 @@ public:
     /// Makes every block trainable (the paper's NoFreeze ablation).
     void unfreeze_all();
 
+    /// Tightens the log-scale bound of every layer in `block` by `factor`
+    /// (in (0, 1]); the stage rollback-retry path uses this to stop affine
+    /// couplings from re-exploding on the retried stage.
+    void tighten_scale_cap(std::size_t block, double factor);
+
     const dist::StandardNormal& base() const noexcept { return base_; }
     const StackConfig& config() const noexcept { return cfg_; }
 

@@ -35,6 +35,11 @@ public:
 
     virtual std::vector<autodiff::Var> params() const = 0;
     virtual void set_trainable(bool trainable) = 0;
+
+    /// Multiplies the layer's log-scale bound by `factor` (in (0, 1] to
+    /// tighten). Layers without a scale bound ignore it; the stage
+    /// rollback-retry path uses this to rein in exploding couplings.
+    virtual void scale_cap_multiply(double /*factor*/) {}
 };
 
 }  // namespace nofis::flow

@@ -92,4 +92,25 @@ CouplingStack load_stack(const std::string& path) {
     return load_stack(is);
 }
 
+ParamSnapshot snapshot_params(const CouplingStack& stack) {
+    ParamSnapshot snap;
+    const auto params = stack.params();
+    snap.reserve(params.size());
+    for (const auto& p : params) snap.push_back(p.value());
+    return snap;
+}
+
+void restore_params(CouplingStack& stack, const ParamSnapshot& snapshot) {
+    auto params = stack.params();
+    if (params.size() != snapshot.size())
+        fail("snapshot parameter count mismatch");
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        const auto& src = snapshot[i];
+        auto& dst = params[i].mutable_value();
+        if (src.rows() != dst.rows() || src.cols() != dst.cols())
+            fail("snapshot parameter shape mismatch");
+        dst = src;
+    }
+}
+
 }  // namespace nofis::flow

@@ -21,4 +21,14 @@ void save_stack(const CouplingStack& stack, const std::string& path);
 CouplingStack load_stack(std::istream& is);
 CouplingStack load_stack(const std::string& path);
 
+/// In-memory checkpoint of every parameter value, in the same layer order
+/// save_stack writes them. The stage rollback-retry machinery snapshots
+/// before training a stage and restores on divergence — same parameter
+/// walk as the on-disk format, minus the stream round-trip.
+using ParamSnapshot = std::vector<linalg::Matrix>;
+ParamSnapshot snapshot_params(const CouplingStack& stack);
+/// Restores a snapshot taken from the *same* architecture; throws
+/// std::runtime_error on a layout mismatch.
+void restore_params(CouplingStack& stack, const ParamSnapshot& snapshot);
+
 }  // namespace nofis::flow

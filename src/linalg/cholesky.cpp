@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/solver_error.hpp"
+
 namespace nofis::linalg {
 
 Cholesky::Cholesky(const Matrix& a) : n_(a.rows()), l_(a.rows(), a.rows()) {
@@ -14,7 +16,7 @@ Cholesky::Cholesky(const Matrix& a) : n_(a.rows()), l_(a.rows(), a.rows()) {
             for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
             if (i == j) {
                 if (s <= 0.0)
-                    throw std::runtime_error(
+                    throw SingularMatrixError(
                         "Cholesky: matrix is not positive definite");
                 l_(i, i) = std::sqrt(s);
             } else {

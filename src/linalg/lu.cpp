@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "linalg/solver_error.hpp"
+
 namespace nofis::linalg {
 
 LuDecomposition::LuDecomposition(const Matrix& a)
@@ -25,7 +27,7 @@ LuDecomposition::LuDecomposition(const Matrix& a)
             }
         }
         if (best < std::numeric_limits<double>::min() * 16)
-            throw std::runtime_error("LuDecomposition: singular matrix");
+            throw SingularMatrixError("LuDecomposition: singular matrix");
         if (p != k) {
             for (std::size_t c = 0; c < n_; ++c)
                 std::swap(lu_(k, c), lu_(p, c));
@@ -106,7 +108,7 @@ ComplexLu::ComplexLu(std::vector<Complex> a, std::size_t n)
             }
         }
         if (best < std::numeric_limits<double>::min() * 16)
-            throw std::runtime_error("ComplexLu: singular matrix");
+            throw SingularMatrixError("ComplexLu: singular matrix");
         if (p != k) {
             for (std::size_t c = 0; c < n_; ++c) std::swap(at(k, c), at(p, c));
             std::swap(piv_[k], piv_[p]);

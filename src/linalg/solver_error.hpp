@@ -1,0 +1,48 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace nofis {
+
+/// Structured solver failure: every numerical kernel in src/linalg and
+/// src/circuit throws one of these instead of a bare std::runtime_error so
+/// that the fault-tolerant runtime (estimators::GuardedProblem) can classify
+/// faults by kind without string matching. Derives from std::runtime_error,
+/// so existing catch sites keep working unchanged.
+class SolverError : public std::runtime_error {
+public:
+    enum class Kind {
+        kSingularMatrix,   ///< pivot / leading-minor breakdown in a factorisation
+        kNonConvergence,   ///< iterative solve exhausted its iteration budget
+        kBadInput,         ///< non-finite or structurally invalid solver input
+    };
+
+    SolverError(Kind kind, const std::string& what)
+        : std::runtime_error(what), kind_(kind) {}
+
+    Kind kind() const noexcept { return kind_; }
+
+private:
+    Kind kind_;
+};
+
+class SingularMatrixError final : public SolverError {
+public:
+    explicit SingularMatrixError(const std::string& what)
+        : SolverError(Kind::kSingularMatrix, what) {}
+};
+
+class NonConvergenceError final : public SolverError {
+public:
+    explicit NonConvergenceError(const std::string& what)
+        : SolverError(Kind::kNonConvergence, what) {}
+};
+
+class BadInputError final : public SolverError {
+public:
+    explicit BadInputError(const std::string& what)
+        : SolverError(Kind::kBadInput, what) {}
+};
+
+}  // namespace nofis

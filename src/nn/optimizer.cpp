@@ -28,6 +28,28 @@ double Optimizer::clip_grad_norm(double max_norm) {
     return norm;
 }
 
+double Optimizer::clip_grad_value(double limit) {
+    double sq = 0.0;
+    for (auto& p : params_) {
+        if (!p.requires_grad()) continue;
+        auto node = p.node();
+        if (node->grad.empty()) continue;
+        for (double& v : node->grad.flat()) {
+            sq += v * v;
+            if (v > limit)
+                v = limit;
+            else if (v < -limit)
+                v = -limit;
+        }
+    }
+    return std::sqrt(sq);
+}
+
+double Optimizer::clip_gradients(GradClipMode mode, double limit) {
+    return mode == GradClipMode::kGlobalNorm ? clip_grad_norm(limit)
+                                             : clip_grad_value(limit);
+}
+
 Sgd::Sgd(std::vector<autodiff::Var> params, double lr, double momentum)
     : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
     velocity_.reserve(params_.size());

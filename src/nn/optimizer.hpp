@@ -7,6 +7,18 @@
 
 namespace nofis::nn {
 
+/// How gradients are bounded before an optimizer step.
+///
+/// kGlobalNorm rescales the whole gradient vector when its L2 norm across
+/// all parameters exceeds the limit — direction-preserving, the default.
+/// kPerValue clamps every component into [-limit, limit] independently;
+/// this distorts the gradient direction and is kept only so earlier seed
+/// benches that trained with per-value clamping stay reproducible.
+enum class GradClipMode {
+    kGlobalNorm,
+    kPerValue,
+};
+
 /// Base optimizer: owns handles to the trainable parameters and updates
 /// their values in place from accumulated gradients.
 ///
@@ -25,6 +37,14 @@ public:
     /// Clips the global L2 norm of all (unfrozen) gradients to `max_norm`.
     /// Returns the pre-clip norm. Call between backward() and step().
     double clip_grad_norm(double max_norm);
+
+    /// Legacy clipping: clamps each gradient component into
+    /// [-limit, limit]. Returns the pre-clip global L2 norm so callers can
+    /// use the same divergence telemetry in either mode.
+    double clip_grad_value(double limit);
+
+    /// Mode-dispatching clip (see GradClipMode); returns the pre-clip norm.
+    double clip_gradients(GradClipMode mode, double limit);
 
     std::span<const autodiff::Var> params() const noexcept { return params_; }
 

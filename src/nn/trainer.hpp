@@ -13,6 +13,8 @@ struct TrainConfig {
     std::size_t batch_size = 64;
     double learning_rate = 1e-3;
     double grad_clip = 10.0;
+    /// kPerValue reproduces earlier per-component clamping benches.
+    GradClipMode grad_clip_mode = GradClipMode::kGlobalNorm;
 };
 
 /// Per-epoch training losses (for diagnostics / convergence tests).

@@ -1,0 +1,117 @@
+#include "testcases/fault_injector.hpp"
+
+#include <chrono>
+#include <limits>
+
+#include "linalg/solver_error.hpp"
+
+namespace nofis::testcases {
+
+namespace {
+
+/// splitmix64 finaliser — the same mixer rng::Engine seeds from, reused here
+/// to turn (seed, call index) into an i.i.d.-quality uniform without any
+/// mutable generator state.
+std::uint64_t mix64(std::uint64_t z) noexcept {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+double hash_uniform(std::uint64_t seed, std::uint64_t index) noexcept {
+    const std::uint64_t bits = mix64(mix64(seed) ^ index);
+    return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(const estimators::RareEventProblem& inner,
+                             FaultInjectorConfig cfg)
+    : inner_(&inner), cfg_(cfg) {}
+
+void FaultInjector::reset_counters() noexcept {
+    calls_ = nan_ = thrown_singular_ = thrown_nonconv_ = inf_ = latency_ = 0;
+}
+
+FaultInjector::Inject FaultInjector::decide(std::size_t index) const noexcept {
+    if (index >= cfg_.nan_burst_begin && index < cfg_.nan_burst_end)
+        return Inject::kNan;
+    const double u = hash_uniform(cfg_.seed, index);
+    double edge = cfg_.nan_rate;
+    if (u < edge) return Inject::kNan;
+    edge += cfg_.throw_rate;
+    if (u < edge) return Inject::kThrow;
+    edge += cfg_.inf_rate;
+    if (u < edge) return Inject::kInf;
+    edge += cfg_.latency_rate;
+    if (u < edge) return Inject::kLatency;
+    return Inject::kNone;
+}
+
+void FaultInjector::throw_fault(std::size_t index) const {
+    // Alternate the structured kinds so classification paths both get
+    // exercised; odd/even split keeps the ledger deterministic.
+    if (index % 2 == 0) {
+        ++thrown_singular_;
+        throw SingularMatrixError("FaultInjector: injected singular matrix");
+    }
+    ++thrown_nonconv_;
+    throw NonConvergenceError("FaultInjector: injected non-convergence");
+}
+
+double FaultInjector::g(std::span<const double> x) const {
+    const std::size_t index = calls_++;
+    switch (decide(index)) {
+        case Inject::kNan:
+            ++nan_;
+            return std::numeric_limits<double>::quiet_NaN();
+        case Inject::kThrow:
+            throw_fault(index);
+        case Inject::kInf:
+            ++inf_;
+            return std::numeric_limits<double>::infinity();
+        case Inject::kLatency: {
+            ++latency_;
+            const auto until =
+                std::chrono::steady_clock::now() +
+                std::chrono::microseconds(
+                    static_cast<long long>(cfg_.latency_us));
+            while (std::chrono::steady_clock::now() < until) {
+            }
+            break;
+        }
+        case Inject::kNone:
+            break;
+    }
+    return inner_->g(x);
+}
+
+double FaultInjector::g_grad(std::span<const double> x,
+                             std::span<double> grad_out) const {
+    if (!cfg_.affect_grad) return inner_->g_grad(x, grad_out);
+    const std::size_t index = calls_++;
+    switch (decide(index)) {
+        case Inject::kNan: {
+            ++nan_;
+            const double v = inner_->g_grad(x, grad_out);
+            if (!grad_out.empty())
+                grad_out[0] = std::numeric_limits<double>::quiet_NaN();
+            return v;
+        }
+        case Inject::kThrow:
+            throw_fault(index);
+        case Inject::kInf:
+            ++inf_;
+            inner_->g_grad(x, grad_out);
+            return std::numeric_limits<double>::infinity();
+        case Inject::kLatency:
+            ++latency_;
+            break;
+        case Inject::kNone:
+            break;
+    }
+    return inner_->g_grad(x, grad_out);
+}
+
+}  // namespace nofis::testcases

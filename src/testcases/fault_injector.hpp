@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "estimators/problem.hpp"
+
+namespace nofis::testcases {
+
+/// Deterministic fault-injection settings. Rates are per-call probabilities
+/// evaluated in the order NaN → throw → inf → latency (at most one fault per
+/// call); injection decisions are a pure hash of (seed, call index), so a
+/// given call number always faults the same way no matter how callers
+/// interleave g and g_grad retries.
+struct FaultInjectorConfig {
+    double nan_rate = 0.0;      ///< return quiet NaN
+    double throw_rate = 0.0;    ///< throw a SolverError (kind alternates)
+    double inf_rate = 0.0;      ///< return +inf
+    double latency_rate = 0.0;  ///< busy-wait `latency_us` before returning
+    double latency_us = 100.0;
+    std::uint64_t seed = 0x5eedULL;
+
+    /// Deterministic NaN burst: calls with index in [nan_burst_begin,
+    /// nan_burst_end) return NaN regardless of the rates. This is how the
+    /// rollback tests force a whole epoch's losses to go non-finite.
+    std::size_t nan_burst_begin = 0;
+    std::size_t nan_burst_end = 0;
+
+    bool affect_grad = true;  ///< also inject into g_grad calls
+};
+
+/// Test double for the fault-tolerant runtime: wraps any RareEventProblem
+/// and injects NaNs, structured solver throws, infinities, and latency at
+/// seeded per-call rates, while keeping an exact ledger of what it injected
+/// so GuardedProblem's FaultReport can be checked count-for-count.
+class FaultInjector final : public estimators::RareEventProblem {
+public:
+    FaultInjector(const estimators::RareEventProblem& inner,
+                  FaultInjectorConfig cfg);
+
+    std::size_t dim() const noexcept override { return inner_->dim(); }
+    double fd_step() const noexcept override { return inner_->fd_step(); }
+
+    double g(std::span<const double> x) const override;
+    double g_grad(std::span<const double> x,
+                  std::span<double> grad_out) const override;
+
+    // --- exact injection ledger ----------------------------------------------
+    std::size_t calls() const noexcept { return calls_; }
+    std::size_t injected_nan() const noexcept { return nan_; }
+    std::size_t injected_throws() const noexcept {
+        return thrown_singular_ + thrown_nonconv_;
+    }
+    std::size_t injected_singular() const noexcept { return thrown_singular_; }
+    std::size_t injected_nonconvergence() const noexcept {
+        return thrown_nonconv_;
+    }
+    std::size_t injected_inf() const noexcept { return inf_; }
+    std::size_t injected_latency() const noexcept { return latency_; }
+    /// Faults visible to a guard (latency is a slowdown, not a fault).
+    std::size_t injected_total() const noexcept {
+        return nan_ + inf_ + injected_throws();
+    }
+    void reset_counters() noexcept;
+
+private:
+    /// Outcome decided purely from (seed, index).
+    enum class Inject { kNone, kNan, kThrow, kInf, kLatency };
+    Inject decide(std::size_t index) const noexcept;
+    [[noreturn]] void throw_fault(std::size_t index) const;
+
+    const estimators::RareEventProblem* inner_;
+    FaultInjectorConfig cfg_;
+    mutable std::size_t calls_ = 0;
+    mutable std::size_t nan_ = 0;
+    mutable std::size_t thrown_singular_ = 0;
+    mutable std::size_t thrown_nonconv_ = 0;
+    mutable std::size_t inf_ = 0;
+    mutable std::size_t latency_ = 0;
+};
+
+}  // namespace nofis::testcases
