@@ -18,6 +18,11 @@
 //   nofis_cli reuse --case Leaf --load leaf.nofisflow [--nis 5000] [--seed 2]
 //       Reload a trained proposal and draw a fresh importance-sampling
 //       estimate without retraining.
+//
+// Every command accepts --threads N to size the parallel evaluation pool
+// (0 / absent = NOFIS_THREADS env or hardware concurrency). Output is
+// bitwise identical for any thread count; the flag only changes wall-clock
+// time.
 
 #include <cstdio>
 #include <cstring>
@@ -125,6 +130,10 @@ int cmd_train(int argc, char** argv) {
     auto cfg = nofis_config_from_budget(budget);
     cfg.guard.policy =
         parse_policy(arg_value(argc, argv, "--policy", "retry"));
+    // Routed through the config (rather than only the global pool) so the
+    // NofisConfig knob is exercised end-to-end.
+    cfg.threads = static_cast<std::size_t>(std::strtoull(
+        arg_value(argc, argv, "--threads", "0").c_str(), nullptr, 10));
     core::NofisEstimator est(cfg,
                              core::LevelSchedule::manual(budget.levels));
 
@@ -187,7 +196,8 @@ int cmd_reuse(int argc, char** argv) {
 void usage() {
     std::fprintf(stderr,
                  "usage: nofis_cli <list|estimate|levels|train|reuse> "
-                 "[options]\n(see the header of apps/nofis_cli.cpp)\n");
+                 "[options] [--threads N]\n"
+                 "(see the header of apps/nofis_cli.cpp)\n");
 }
 
 }  // namespace
@@ -197,6 +207,7 @@ int main(int argc, char** argv) {
         usage();
         return 1;
     }
+    apply_threads_flag(argc, argv);
     const std::string cmd = argv[1];
     try {
         if (cmd == "list") return cmd_list();

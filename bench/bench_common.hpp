@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/nofis.hpp"
+#include "parallel/thread_pool.hpp"
 #include "estimators/adaptive_is.hpp"
 #include "estimators/monte_carlo.hpp"
 #include "estimators/sir.hpp"
@@ -147,6 +148,15 @@ inline std::string arg_value(int argc, char** argv, const char* name,
     for (int i = 1; i + 1 < argc; ++i)
         if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
     return fallback;
+}
+
+/// Applies a "--threads N" flag (0 / absent = NOFIS_THREADS env or hardware
+/// concurrency) to the global evaluation pool. Results are bitwise
+/// identical for any value; the flag only changes wall-clock time.
+inline void apply_threads_flag(int argc, char** argv) {
+    const auto threads = static_cast<std::size_t>(std::strtoull(
+        arg_value(argc, argv, "--threads", "0").c_str(), nullptr, 10));
+    if (threads > 0) parallel::set_num_threads(threads);
 }
 
 }  // namespace nofis::bench

@@ -5,6 +5,7 @@
 // (Figure 3(e)) as CSV.
 //
 // Usage: fig3_intermediate [--epochs 200] [--out fig3_loss.csv]
+//        [--threads N]
 
 #include <algorithm>
 #include <cmath>
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
     using namespace nofis;
     using namespace nofis::bench;
 
+    apply_threads_flag(argc, argv);
     const auto epochs = static_cast<std::size_t>(std::strtoull(
         arg_value(argc, argv, "--epochs", "200").c_str(), nullptr, 10));
     const std::string out = arg_value(argc, argv, "--out", "fig3_loss.csv");
@@ -74,8 +76,9 @@ int main(int argc, char** argv) {
     std::printf("\nPer-stage loss curves (Figure 3(e)) written to %s\n",
                 out.c_str());
     // Summary: every stage's loss should end below where it started.
+    // Skipped epochs hold NaN sentinels, so take the finite endpoints.
     for (const auto& s : run.stages)
         std::printf("  stage %zu (a=%5.1f): loss %9.3f -> %9.3f\n", s.stage,
-                    s.level, s.epoch_loss.front(), s.epoch_loss.back());
+                    s.level, s.first_finite_loss(), s.last_finite_loss());
     return 0;
 }

@@ -8,10 +8,13 @@
 #include "circuit/ac.hpp"
 #include "circuit/charge_pump.hpp"
 #include "circuit/opamp.hpp"
+#include "estimators/problem.hpp"
 #include "flow/coupling_stack.hpp"
 #include "linalg/lu.hpp"
+#include "parallel/thread_pool.hpp"
 #include "photonic/ybranch.hpp"
 #include "rng/normal.hpp"
+#include "testcases/registry.hpp"
 
 namespace {
 
@@ -19,6 +22,9 @@ using namespace nofis;
 
 void BM_MatMul(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
+    // Pinned to one lane so the serial-kernel numbers stay comparable
+    // across runs; BM_MatMulThreaded measures the parallel scaling.
+    parallel::set_num_threads(1);
     rng::Engine eng(1);
     const auto a = rng::standard_normal_matrix(eng, n, n);
     const auto b = rng::standard_normal_matrix(eng, n, n);
@@ -26,6 +32,39 @@ void BM_MatMul(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_MatMulThreaded(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto threads = static_cast<std::size_t>(state.range(1));
+    parallel::set_num_threads(threads);
+    rng::Engine eng(1);
+    const auto a = rng::standard_normal_matrix(eng, n, n);
+    const auto b = rng::standard_normal_matrix(eng, n, n);
+    for (auto _ : state) benchmark::DoNotOptimize(a.matmul(b));
+    state.SetItemsProcessed(state.iterations() * n * n * n);
+    parallel::set_num_threads(1);
+}
+BENCHMARK(BM_MatMulThreaded)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8});
+
+// Batched g over a block of samples — the training-loop hot path. The
+// per-row results are bitwise identical for every thread count; only the
+// wall-clock changes.
+void BM_BatchGEval(benchmark::State& state) {
+    const auto threads = static_cast<std::size_t>(state.range(0));
+    parallel::set_num_threads(threads);
+    const auto tc = testcases::make_case("Opamp");
+    estimators::CountedProblem counted(*tc);
+    rng::Engine eng(9);
+    const auto x = rng::standard_normal_matrix(eng, 256, tc->dim());
+    for (auto _ : state) benchmark::DoNotOptimize(counted.g_rows(x));
+    state.SetItemsProcessed(state.iterations() * x.rows());
+    parallel::set_num_threads(1);
+}
+BENCHMARK(BM_BatchGEval)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_LuSolve(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));

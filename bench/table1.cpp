@@ -3,7 +3,7 @@
 //
 // Usage:
 //   table1 [--cases Leaf,Cube,...] [--methods MC,SUS,NOFIS,...]
-//          [--repeats N] [--seed S]
+//          [--repeats N] [--seed S] [--threads T]
 //
 // Defaults run every case and method at 2 repeats (the paper uses 20; pass
 // --repeats 20 to match, at ~10x the runtime). A cell where every repeat
@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
     using namespace nofis;
     using namespace nofis::bench;
 
+    apply_threads_flag(argc, argv);
     const auto case_names =
         split_csv(arg_value(argc, argv, "--cases",
                             "Leaf,Cube,Rosen,Levy,Powell,Opamp,Oscillator,"

@@ -40,11 +40,12 @@ int main(int argc, char** argv) {
     auto run = nofis.run(problem, eng);
 
     std::printf("\nNOFIS stages:\n");
+    // Skipped epochs hold NaN loss sentinels; report the finite endpoints.
     for (const auto& s : run.stages)
         std::printf("  stage %zu (a = %6.2f): loss %8.3f -> %8.3f, "
                     "inside %.0f%%\n",
-                    s.stage, s.level, s.epoch_loss.front(),
-                    s.epoch_loss.back(), 100.0 * s.inside_fraction);
+                    s.stage, s.level, s.first_finite_loss(),
+                    s.last_finite_loss(), 100.0 * s.inside_fraction);
 
     std::printf("\nNOFIS estimate: %.3e  (calls %zu, log-err %.3f, "
                 "IS hits %zu/%zu, ESS %.1f)\n",

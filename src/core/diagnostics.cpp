@@ -1,9 +1,23 @@
 #include "core/diagnostics.hpp"
 
+#include <cmath>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 
 namespace nofis::core {
+
+double StageDiagnostics::first_finite_loss() const noexcept {
+    for (double v : epoch_loss)
+        if (std::isfinite(v)) return v;
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+double StageDiagnostics::last_finite_loss() const noexcept {
+    for (auto it = epoch_loss.rbegin(); it != epoch_loss.rend(); ++it)
+        if (std::isfinite(*it)) return *it;
+    return std::numeric_limits<double>::quiet_NaN();
+}
 
 std::string RunHealth::summary() const {
     std::ostringstream os;
@@ -23,9 +37,13 @@ std::string loss_curve_csv(const std::vector<StageDiagnostics>& stages) {
     std::ostringstream os;
     os << "stage,level,epoch,loss\n";
     for (const auto& s : stages)
-        for (std::size_t e = 0; e < s.epoch_loss.size(); ++e)
+        for (std::size_t e = 0; e < s.epoch_loss.size(); ++e) {
+            // Skipped epochs carry a NaN sentinel — no loss was computed,
+            // so they are omitted rather than plotted as a fake value.
+            if (!std::isfinite(s.epoch_loss[e])) continue;
             os << s.stage << ',' << s.level << ',' << e << ','
                << s.epoch_loss[e] << '\n';
+        }
     return os.str();
 }
 

@@ -12,10 +12,20 @@ namespace nofis::core {
 struct StageDiagnostics {
     std::size_t stage = 0;          ///< m (1-based)
     double level = 0.0;             ///< a_m
-    std::vector<double> epoch_loss; ///< true KL-loss value per epoch
+    /// True KL-loss value per epoch. Epochs whose update was skipped (flow
+    /// blow-up / non-finite loss in legacy skip mode) hold a quiet NaN
+    /// sentinel — no loss was computed, and fabricating one would fake
+    /// convergence. Consumers must skip non-finite entries; see
+    /// first_finite_loss / last_finite_loss.
+    std::vector<double> epoch_loss;
     /// Fraction of the stage's final-epoch samples inside Ω_{a_m} — a cheap
     /// health indicator (should climb toward ~1 as the proposal locks on).
     double inside_fraction = 0.0;
+
+    /// First / last finite entry of epoch_loss (skipped-epoch NaN sentinels
+    /// excluded); NaN when the stage never computed a loss.
+    double first_finite_loss() const noexcept;
+    double last_finite_loss() const noexcept;
 
     // --- rollback-retry telemetry -------------------------------------------
     /// Times this stage was rolled back to its checkpoint and retrained

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 
+#include "linalg/solver_error.hpp"
 #include "rng/normal.hpp"
 
 namespace nofis::core {
@@ -30,6 +32,25 @@ LevelSchedule auto_levels(estimators::CountedProblem& problem,
     const linalg::Matrix pilot =
         rng::standard_normal_matrix(eng, cfg.pilot_samples, problem.dim());
     std::vector<double> gv = problem.g_rows(pilot);
+    // A guarded pilot can hand back NaN/inf g-values (propagate policy, or
+    // clamp_value = inf). NaNs in particular wreck std::sort's ordering and
+    // would silently shift the quantile, so strip non-finite entries first
+    // and fail loudly if too few survive to estimate a quantile from.
+    const std::size_t pilot_total = gv.size();
+    gv.erase(std::remove_if(gv.begin(), gv.end(),
+                            [](double v) { return !std::isfinite(v); }),
+             gv.end());
+    const std::size_t dropped = pilot_total - gv.size();
+    const std::size_t min_finite =
+        std::max<std::size_t>(2, cfg.pilot_samples / 10);
+    if (gv.size() < min_finite) {
+        std::ostringstream os;
+        os << "auto_levels: only " << gv.size() << " of " << pilot_total
+           << " pilot g-values are finite (" << dropped
+           << " dropped); need at least " << min_finite
+           << " to place a quantile level";
+        throw BadInputError(os.str());
+    }
     std::sort(gv.begin(), gv.end());
     const auto qi = static_cast<std::size_t>(
         cfg.head_quantile * static_cast<double>(gv.size() - 1));

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <limits>
 
 #include "autodiff/ops.hpp"
 #include "dist/diag_gaussian.hpp"
 #include "flow/serialize.hpp"
 #include "nn/optimizer.hpp"
+#include "parallel/thread_pool.hpp"
 #include "rng/normal.hpp"
 
 namespace nofis::core {
@@ -38,11 +40,11 @@ NofisEstimator::RunResult NofisEstimator::run(
     const estimators::RareEventProblem& problem, rng::Engine& eng) const {
     const std::size_t d = problem.dim();
     const std::size_t num_stages = levels_.num_levels();
+    if (cfg_.threads > 0) parallel::set_num_threads(cfg_.threads);
     // Every g / g_grad evaluation goes through the fault guard; faults are
     // resolved per cfg_.guard and tallied for RunHealth. A fault-free run
     // is bit-identical to the unguarded path.
     estimators::GuardedProblem guarded(problem, cfg_.guard);
-    CountedProblem counted(guarded);
 
     flow::StackConfig scfg;
     scfg.dim = d;
@@ -59,7 +61,9 @@ NofisEstimator::RunResult NofisEstimator::run(
     result.stages.reserve(num_stages);
 
     const std::size_t n = cfg_.samples_per_epoch;
-    std::vector<double> grad_buf(d);
+    // Training-phase g budget, tallied per batch (the guard's own counter
+    // also covers retry probes, which are charged separately below).
+    std::size_t train_g_calls = 0;
 
     // One training pass over stage m at (lr0, clip). In abort mode the pass
     // stops at the first divergence signal so the caller can roll back; in
@@ -88,6 +92,11 @@ NofisEstimator::RunResult NofisEstimator::run(
         nn::Adam opt(train_params, lr0);
         double stage_lr = lr0;
 
+        std::size_t param_count = 0;
+        for (const auto& p : train_params) param_count += p.value().size();
+        const double explode_limit = nn::grad_explode_limit(
+            cfg_.grad_clip_mode, clip, cfg_.grad_explode_factor, param_count);
+
         diag.epoch_loss.clear();
         diag.inside_fraction = 0.0;
 
@@ -110,21 +119,31 @@ NofisEstimator::RunResult NofisEstimator::run(
                 if (abort_on_divergence)
                     return {true, "non-finite flow output"};
                 // Flow blew up this epoch; skip the update rather than
-                // poisoning Adam's moments with NaNs.
+                // poisoning Adam's moments with NaNs. The sentinel keeps
+                // the curve honest: no loss was computed this epoch.
                 ++diag.skipped_epochs;
                 diag.epoch_loss.push_back(
-                    diag.epoch_loss.empty() ? 0.0 : diag.epoch_loss.back());
+                    std::numeric_limits<double>::quiet_NaN());
                 continue;
             }
 
             // Black-box target term: value for the loss report, gradient
             // injected via dot_constant. ∂T/∂z_n = (1/N)(−τ·∇g·1[g>a] − z_n).
+            //
+            // Pass 1 — batched g over all rows (parallel, per-row call
+            // indices in row order). The reductions below run serially in
+            // row order, so the loss is bitwise identical at any thread
+            // count.
+            train_g_calls += n;
+            const std::vector<double> g_vals = guarded.g_rows(z);
+
             Matrix target_grad(n, d);
             double target_value = 0.0;
             double inside = 0.0;
+            std::vector<std::size_t> grad_rows;
             for (std::size_t r = 0; r < n; ++r) {
                 const auto zr = z.row_span(r);
-                const double gv = counted.g(zr);
+                const double gv = g_vals[r];
                 if (!std::isfinite(gv)) {
                     // A non-finite g slipped through the guard (propagate
                     // policy): the tempered target is undefined, so poison
@@ -134,14 +153,38 @@ NofisEstimator::RunResult NofisEstimator::run(
                 if (gv <= a_m) inside += 1.0;
                 target_value += tempered_log_weight(cfg_.tau, a_m, gv) +
                                 rng::standard_normal_log_pdf(zr);
-                if (gv > a_m) {
-                    // Backward through the same simulation point is free
-                    // under the paper's autograd accounting (see
-                    // RareEventProblem::g_grad).
-                    guarded.g_grad(zr, grad_buf);
-                    for (std::size_t c = 0; c < d; ++c)
-                        target_grad(r, c) = -cfg_.tau * grad_buf[c];
-                }
+                if (gv > a_m) grad_rows.push_back(r);
+            }
+
+            // Pass 2 — batched ∇g for the rows that need it. Backward
+            // through the same simulation point is free under the paper's
+            // autograd accounting (see RareEventProblem::g_grad). Each row
+            // writes only its own target_grad slice, so this fans out on
+            // the pool with one reserved call index per row.
+            {
+                const std::size_t gbase = guarded.reserve_calls(
+                    grad_rows.size());
+                std::vector<std::exception_ptr> errors(grad_rows.size());
+                parallel::parallel_for(
+                    grad_rows.size(), [&](std::size_t i0, std::size_t i1) {
+                        std::vector<double> grad_buf(d);
+                        for (std::size_t i = i0; i < i1; ++i) {
+                            const std::size_t r = grad_rows[i];
+                            try {
+                                guarded.g_grad_indexed(
+                                    gbase + i, z.row_span(r), grad_buf);
+                                for (std::size_t c = 0; c < d; ++c)
+                                    target_grad(r, c) =
+                                        -cfg_.tau * grad_buf[c];
+                            } catch (...) {
+                                errors[i] = std::current_exception();
+                            }
+                        }
+                    });
+                parallel::rethrow_first(errors);
+            }
+            for (std::size_t r = 0; r < n; ++r) {
+                const auto zr = z.row_span(r);
                 for (std::size_t c = 0; c < d; ++c) target_grad(r, c) -= zr[c];
             }
             const double inv_n = 1.0 / static_cast<double>(n);
@@ -164,7 +207,7 @@ NofisEstimator::RunResult NofisEstimator::run(
                 if (abort_on_divergence) return {true, "non-finite KL loss"};
                 ++diag.skipped_epochs;
                 diag.epoch_loss.push_back(
-                    diag.epoch_loss.empty() ? 0.0 : diag.epoch_loss.back());
+                    std::numeric_limits<double>::quiet_NaN());
                 continue;
             }
 
@@ -173,8 +216,7 @@ NofisEstimator::RunResult NofisEstimator::run(
             const double grad_norm =
                 opt.clip_gradients(cfg_.grad_clip_mode, clip);
             if (abort_on_divergence &&
-                (!std::isfinite(grad_norm) ||
-                 grad_norm > cfg_.grad_explode_factor * clip))
+                (!std::isfinite(grad_norm) || grad_norm > explode_limit))
                 return {true, "exploding gradient norm"};
             opt.set_learning_rate(stage_lr);
             opt.step();
@@ -223,8 +265,10 @@ NofisEstimator::RunResult NofisEstimator::run(
         importance_estimate(*stack, guarded, eng, cfg_.n_is, &is_diag,
                             cfg_.defensive_weight, cfg_.defensive_sigma);
     // Honest budget: training calls + fault-retry evaluations on top of the
-    // N_IS already counted by importance_estimate.
-    est.calls += counted.calls() + guarded.report().retry_attempts;
+    // N_IS already counted by importance_estimate. (g_grad rides on the
+    // value evaluation under the paper's autograd accounting, so only the
+    // value batches count.)
+    est.calls += train_g_calls + guarded.report().retry_attempts;
 
     RunHealth health;
     health.faults = guarded.report();
@@ -309,6 +353,11 @@ EstimateResult NofisEstimator::importance_estimate(
         }
     }
 
+    // Batched g over all proposal draws (parallel, row-order call indices);
+    // every reduction below stays serial in row order, so the estimate is
+    // bitwise identical at any thread count.
+    const std::vector<double> g_vals = counted.g_rows(z);
+
     double total = 0.0;
     IsDiagnostics d;
     d.draws = n_is;
@@ -326,7 +375,7 @@ EstimateResult NofisEstimator::importance_estimate(
             std::exp(rng::standard_normal_log_pdf(zr) - log_q[r]);
         all_sum_w += raw_w;
         all_sum_w2 += raw_w * raw_w;
-        const double gv = counted.g(zr);
+        const double gv = g_vals[r];
         if (gv > 0.0) continue;
         total += raw_w;
         sum_w += raw_w;

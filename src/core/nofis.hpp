@@ -64,12 +64,21 @@ struct NofisConfig {
     /// a rollback (0 disables — the paper's level schedules keep the
     /// nominal fraction well above any sensible threshold).
     double min_inside_fraction = 0.0;
-    /// Pre-clip gradient norm above `grad_explode_factor * grad_clip`
-    /// counts as divergence.
+    /// Pre-clip gradient norm above nn::grad_explode_limit(grad_clip_mode,
+    /// grad_clip, grad_explode_factor, P) counts as divergence. The limit
+    /// is mode-aware: under kPerValue it scales with sqrt(P) because the
+    /// clip bounds components, not the norm (see nn::grad_explode_limit).
     double grad_explode_factor = 100.0;
     /// Direction-preserving global-norm clipping by default; kPerValue
     /// reproduces earlier per-component clamping benches.
     nn::GradClipMode grad_clip_mode = nn::GradClipMode::kGlobalNorm;
+
+    // --- parallel runtime (DESIGN.md, "Parallel runtime & determinism").
+    /// Worker lanes for batched g / g_grad evaluation and the tiled matmul.
+    /// 0 = leave the global pool as configured (NOFIS_THREADS env or
+    /// hardware concurrency); >0 pins the pool before the run starts.
+    /// Results are bitwise identical for any value.
+    std::size_t threads = 0;
 };
 
 /// Normalizing-flow assisted importance sampling (the paper's contribution).

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <exception>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,7 +42,9 @@ struct FaultReport {
     std::size_t clamped = 0;         ///< faults resolved by clamp-to-fail
     std::size_t propagated = 0;      ///< faults rethrown to the caller
 
-    /// Context of the first fault observed (debugging aid for long runs).
+    /// Context of the lowest-call-index fault observed (debugging aid for
+    /// long runs). Selecting by call index rather than arrival time keeps
+    /// the report identical under any thread count.
     bool has_first = false;
     FaultKind first_kind = FaultKind::kOtherException;
     std::string first_message;
@@ -78,9 +82,15 @@ struct GuardConfig {
 /// Fault-tolerant decorator around any RareEventProblem: catches solver
 /// exceptions (classified via nofis::SolverError) and non-finite g / g_grad
 /// outputs, applies the configured GuardConfig::Policy, and accumulates a
-/// FaultReport. Fault-free evaluations are bit-identical passthroughs — the
-/// internal jitter stream is only advanced when a fault occurs, so guarded
-/// and unguarded runs of a healthy problem produce the same numbers.
+/// FaultReport. Fault-free evaluations are bit-identical passthroughs.
+///
+/// Thread-safety and determinism: every evaluation carries a call index
+/// (self-assigned in arrival order on the serial g/g_grad path, reserved in
+/// row order by batched callers). Retry jitter is a pure function of
+/// (seed, call index) — not a shared stream — and the fault ledger is
+/// mutex-protected with the "first fault" selected by lowest call index,
+/// so a batch of guarded evaluations produces bitwise-identical values and
+/// an identical FaultReport under any thread count.
 ///
 /// Call accounting: the guard itself is transparent (one caller call = one
 /// inner call), but retries spend extra inner evaluations; those are
@@ -98,27 +108,54 @@ public:
     double g_grad(std::span<const double> x,
                   std::span<double> grad_out) const override;
 
+    /// Indexed entry points for batched callers: `index` must come from
+    /// reserve_calls so the serial and batched paths share one index space.
+    /// The index is forwarded to the inner problem's indexed hooks, letting
+    /// a deterministic fault injector replay the same faults regardless of
+    /// evaluation order.
+    double g_indexed(std::size_t index,
+                     std::span<const double> x) const override;
+    double g_grad_indexed(std::size_t index, std::span<const double> x,
+                          std::span<double> grad_out) const override;
+
+    /// Parallel batch over the rows of `x`: reserves one call index per row
+    /// (row r -> base + r) and evaluates on the global pool. Exceptions
+    /// (propagate policy) are rethrown for the lowest faulting row after
+    /// the whole batch completed.
+    std::vector<double> g_rows(const linalg::Matrix& x) const override;
+
+    /// Reserves `n` consecutive call indices for a batched caller and
+    /// returns the first.
+    std::size_t reserve_calls(std::size_t n) const noexcept {
+        return call_index_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /// Not for use while a batch is in flight.
     const FaultReport& report() const noexcept { return report_; }
     void reset_report() { report_ = FaultReport{}; }
     const RareEventProblem& inner() const noexcept { return *inner_; }
 
 private:
     /// One evaluation attempt; returns true on a finite result, records the
-    /// fault (and sets `kind`/`message`/`eptr`) otherwise. `grad_out` empty
-    /// = value only.
-    bool attempt(std::span<const double> x, std::span<double> grad_out,
+    /// fault under `record_index` (and sets `kind`/`message`/`eptr`)
+    /// otherwise. `inner_index` is what the inner problem sees — retries
+    /// probe under synthetic indices while reporting against the top-level
+    /// call. `grad_out` empty = value only.
+    bool attempt(std::size_t inner_index, std::size_t record_index,
+                 std::span<const double> x, std::span<double> grad_out,
                  double& value, FaultKind& kind, std::string& message,
                  std::exception_ptr& eptr) const;
-    double resolve(std::span<const double> x, std::span<double> grad_out,
-                   FaultKind kind, std::exception_ptr eptr) const;
-    void record(FaultKind kind, const std::string& message,
-                std::span<const double> x) const;
+    double resolve(std::size_t index, std::span<const double> x,
+                   std::span<double> grad_out, FaultKind kind,
+                   std::exception_ptr eptr) const;
+    void record(std::size_t record_index, FaultKind kind,
+                const std::string& message, std::span<const double> x) const;
 
     const RareEventProblem* inner_;
     GuardConfig cfg_;
     mutable FaultReport report_;
-    mutable rng::Engine jitter_;
-    mutable std::size_t call_index_ = 0;
+    mutable std::mutex ledger_mutex_;
+    mutable std::atomic<std::size_t> call_index_{0};
 };
 
 }  // namespace nofis::estimators

@@ -1,7 +1,10 @@
 #include "estimators/problem.hpp"
 
 #include <cmath>
+#include <exception>
 #include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
 
 namespace nofis::estimators {
 
@@ -23,12 +26,29 @@ double RareEventProblem::g_grad(std::span<const double> x,
     return g(x);
 }
 
-std::vector<double> CountedProblem::g_rows(const linalg::Matrix& x) {
+std::vector<double> RareEventProblem::g_rows(const linalg::Matrix& x) const {
     if (x.cols() != dim())
         throw std::invalid_argument("g_rows: dimension mismatch");
     std::vector<double> out(x.rows());
-    for (std::size_t r = 0; r < x.rows(); ++r) out[r] = g(x.row_span(r));
+    std::vector<std::exception_ptr> errors(x.rows());
+    parallel::parallel_for(x.rows(), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            try {
+                out[r] = g(x.row_span(r));
+            } catch (...) {
+                errors[r] = std::current_exception();
+            }
+        }
+    });
+    parallel::rethrow_first(errors);
     return out;
+}
+
+std::vector<double> CountedProblem::g_rows(const linalg::Matrix& x) {
+    if (x.cols() != dim())
+        throw std::invalid_argument("g_rows: dimension mismatch");
+    calls_.fetch_add(x.rows(), std::memory_order_relaxed);
+    return p_->g_rows(x);
 }
 
 std::vector<double> CountedProblem::g_grad_rows(const linalg::Matrix& x,

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <span>
 #include <string>
 #include <vector>
@@ -35,6 +36,33 @@ public:
     virtual double g_grad(std::span<const double> x,
                           std::span<double> grad_out) const;
 
+    /// Indexed evaluation for batched / parallel callers: `index` is a
+    /// deterministic caller-assigned call number. Stateful decorators
+    /// (fault injection, guards) override these to key their per-call
+    /// behaviour on the index instead of arrival order, so a batch replays
+    /// identically under any thread count. The defaults ignore the index.
+    virtual double g_indexed(std::size_t index,
+                             std::span<const double> x) const {
+        (void)index;
+        return g(x);
+    }
+    virtual double g_grad_indexed(std::size_t index,
+                                  std::span<const double> x,
+                                  std::span<double> grad_out) const {
+        (void)index;
+        return g_grad(x, grad_out);
+    }
+
+    /// Batched g over the rows of `x`, results in row order. The default
+    /// evaluates rows in parallel on the global pool and requires `g` to be
+    /// safe for concurrent const calls (true for every stateless model in
+    /// src/testcases). Stateful decorators override it to assign
+    /// deterministic per-row call indices. Every row is evaluated even if
+    /// some throw; the exception of the lowest-index failing row is
+    /// rethrown once the batch completes, so the surfaced error does not
+    /// depend on the thread count.
+    virtual std::vector<double> g_rows(const linalg::Matrix& x) const;
+
     /// Step used by the finite-difference fallback; override for models
     /// with noisy or stiff responses.
     virtual double fd_step() const noexcept { return 1e-5; }
@@ -42,7 +70,8 @@ public:
 
 /// Counting facade: every estimator routes evaluations through one of these
 /// so the "number of function calls" column of Table 1 is measured, not
-/// assumed.
+/// assumed. The counter is atomic, so the wrapped problem may be evaluated
+/// from several pool lanes at once.
 class CountedProblem {
 public:
     explicit CountedProblem(const RareEventProblem& p) : p_(&p) {}
@@ -50,31 +79,37 @@ public:
     std::size_t dim() const noexcept { return p_->dim(); }
 
     double g(std::span<const double> x) {
-        ++calls_;
+        calls_.fetch_add(1, std::memory_order_relaxed);
         return p_->g(x);
     }
 
     double g_grad(std::span<const double> x, std::span<double> grad_out) {
-        ++calls_;
+        calls_.fetch_add(1, std::memory_order_relaxed);
         return p_->g_grad(x, grad_out);
     }
 
-    /// Evaluates g on every row of `x`.
+    /// Evaluates g on every row of `x`, in parallel on the global pool
+    /// (delegates to the problem's g_rows, which stateful decorators
+    /// override with deterministic per-row call indices).
     std::vector<double> g_rows(const linalg::Matrix& x);
 
     /// Evaluates g and its gradient on every row; gradients land in the
-    /// rows of `grad_out` (same shape as x).
+    /// rows of `grad_out` (same shape as x). Serial — not a hot path.
     std::vector<double> g_grad_rows(const linalg::Matrix& x,
                                     linalg::Matrix& grad_out);
 
-    std::size_t calls() const noexcept { return calls_; }
-    void reset_calls() noexcept { calls_ = 0; }
+    std::size_t calls() const noexcept {
+        return calls_.load(std::memory_order_relaxed);
+    }
+    void reset_calls() noexcept {
+        calls_.store(0, std::memory_order_relaxed);
+    }
 
     const RareEventProblem& problem() const noexcept { return *p_; }
 
 private:
     const RareEventProblem* p_;
-    std::size_t calls_ = 0;
+    std::atomic<std::size_t> calls_{0};
 };
 
 /// Result of one estimator run.

@@ -6,12 +6,18 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace nofis::linalg {
 
 namespace {
 [[noreturn]] void shape_error(const char* what) {
     throw std::invalid_argument(std::string("Matrix shape error: ") + what);
 }
+
+/// Products below this many multiply-adds run on the serial kernel — the
+/// fork-join overhead beats any speedup for the small conditioner layers.
+constexpr std::size_t kParallelMatmulMinOps = 1u << 15;
 }  // namespace
 
 Matrix::Matrix(std::size_t rows, std::size_t cols)
@@ -171,16 +177,26 @@ Matrix Matrix::matmul(const Matrix& rhs) const {
     Matrix out(rows_, rhs.cols_);
     // i-k-j loop order: streams through rhs rows, cache-friendly for
     // row-major storage without requiring an explicit transpose.
-    for (std::size_t i = 0; i < rows_; ++i) {
-        double* out_row = out.data() + i * out.cols_;
-        const double* lhs_row = data() + i * cols_;
-        for (std::size_t k = 0; k < cols_; ++k) {
-            const double a = lhs_row[k];
-            if (a == 0.0) continue;
-            const double* rhs_row = rhs.data() + k * rhs.cols_;
-            for (std::size_t j = 0; j < rhs.cols_; ++j) out_row[j] += a * rhs_row[j];
+    auto row_range = [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) {
+            double* out_row = out.data() + i * out.cols_;
+            const double* lhs_row = data() + i * cols_;
+            for (std::size_t k = 0; k < cols_; ++k) {
+                const double a = lhs_row[k];
+                if (a == 0.0) continue;
+                const double* rhs_row = rhs.data() + k * rhs.cols_;
+                for (std::size_t j = 0; j < rhs.cols_; ++j)
+                    out_row[j] += a * rhs_row[j];
+            }
         }
-    }
+    };
+    // Row-tiled parallel kernel: every output row is produced by exactly one
+    // lane with the same inner loop and accumulation order as the serial
+    // path, so the product is bitwise identical at any thread count.
+    if (rows_ * cols_ * rhs.cols_ >= kParallelMatmulMinOps)
+        parallel::parallel_for(rows_, row_range);
+    else
+        row_range(0, rows_);
     return out;
 }
 

@@ -1,5 +1,6 @@
 #include "nn/optimizer.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace nofis::nn {
@@ -48,6 +49,19 @@ double Optimizer::clip_grad_value(double limit) {
 double Optimizer::clip_gradients(GradClipMode mode, double limit) {
     return mode == GradClipMode::kGlobalNorm ? clip_grad_norm(limit)
                                              : clip_grad_value(limit);
+}
+
+double grad_explode_limit(GradClipMode mode, double limit,
+                          double explode_factor,
+                          std::size_t param_count) noexcept {
+    // kGlobalNorm multiplies by exactly 1.0, keeping the threshold bitwise
+    // identical to the historical `explode_factor * limit`.
+    const double scale =
+        mode == GradClipMode::kPerValue
+            ? std::sqrt(static_cast<double>(std::max<std::size_t>(
+                  param_count, 1)))
+            : 1.0;
+    return explode_factor * limit * scale;
 }
 
 Sgd::Sgd(std::vector<autodiff::Var> params, double lr, double momentum)

@@ -52,6 +52,20 @@ protected:
     std::vector<autodiff::Var> params_;
 };
 
+/// Pre-clip gradient-norm threshold above which a training loop should
+/// treat the step as divergent, given how the gradient will be clipped.
+///
+/// Under kGlobalNorm the clip limit and the norm live on the same scale, so
+/// the threshold is simply `explode_factor * limit`. Under kPerValue the
+/// limit bounds each component, so a perfectly legitimate gradient can
+/// reach a norm of `limit * sqrt(param_count)`; comparing the raw norm
+/// against `explode_factor * limit` would flag healthy high-dimensional
+/// steps as explosions. The threshold is therefore scaled by
+/// sqrt(param_count).
+double grad_explode_limit(GradClipMode mode, double limit,
+                          double explode_factor,
+                          std::size_t param_count) noexcept;
+
 /// Plain SGD with optional momentum.
 class Sgd final : public Optimizer {
 public:

@@ -1,0 +1,167 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nofis::parallel {
+
+namespace {
+
+/// True while the current thread is executing inside a parallel region;
+/// nested parallel_for calls fall back to inline execution.
+thread_local bool t_in_parallel_region = false;
+
+}  // namespace
+
+std::size_t hardware_threads() noexcept {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+struct ThreadPool::Impl {
+    std::mutex run_mutex;  ///< serialises whole jobs from different callers
+    std::mutex m;
+    std::condition_variable cv_work;
+    std::condition_variable cv_done;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::uint64_t generation = 0;
+    std::size_t pending = 0;
+    bool shutdown = false;
+    std::vector<std::exception_ptr> lane_error;
+    std::vector<std::thread> workers;
+
+    void worker_loop(std::size_t lane) {
+        std::uint64_t seen = 0;
+        for (;;) {
+            const std::function<void(std::size_t)>* job = nullptr;
+            {
+                std::unique_lock lock(m);
+                cv_work.wait(lock, [&] {
+                    return shutdown || generation != seen;
+                });
+                if (shutdown) return;
+                seen = generation;
+                job = body;
+            }
+            t_in_parallel_region = true;
+            try {
+                (*job)(lane);
+            } catch (...) {
+                lane_error[lane] = std::current_exception();
+            }
+            t_in_parallel_region = false;
+            {
+                std::lock_guard lock(m);
+                if (--pending == 0) cv_done.notify_one();
+            }
+        }
+    }
+};
+
+ThreadPool::ThreadPool(std::size_t lanes)
+    : lanes_(lanes == 0 ? 1 : lanes), impl_(std::make_unique<Impl>()) {
+    impl_->lane_error.resize(lanes_);
+    impl_->workers.reserve(lanes_ - 1);
+    for (std::size_t lane = 1; lane < lanes_; ++lane)
+        impl_->workers.emplace_back([this, lane] { impl_->worker_loop(lane); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(impl_->m);
+        impl_->shutdown = true;
+    }
+    impl_->cv_work.notify_all();
+    for (auto& w : impl_->workers) w.join();
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& body) {
+    std::lock_guard run_lock(impl_->run_mutex);
+    for (auto& e : impl_->lane_error) e = nullptr;
+    if (lanes_ > 1) {
+        std::lock_guard lock(impl_->m);
+        impl_->body = &body;
+        impl_->pending = lanes_ - 1;
+        ++impl_->generation;
+        impl_->cv_work.notify_all();
+    }
+    const bool was_inside = t_in_parallel_region;
+    t_in_parallel_region = true;
+    try {
+        body(0);
+    } catch (...) {
+        impl_->lane_error[0] = std::current_exception();
+    }
+    t_in_parallel_region = was_inside;
+    if (lanes_ > 1) {
+        std::unique_lock lock(impl_->m);
+        impl_->cv_done.wait(lock, [&] { return impl_->pending == 0; });
+        impl_->body = nullptr;
+    }
+    for (const auto& e : impl_->lane_error)
+        if (e) std::rethrow_exception(e);
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+std::size_t default_lanes() {
+    if (const char* env = std::getenv("NOFIS_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return hardware_threads();
+}
+
+/// The global pool, created on first use.
+ThreadPool& global_pool() {
+    std::lock_guard lock(g_pool_mutex);
+    if (!g_pool) g_pool = std::make_unique<ThreadPool>(default_lanes());
+    return *g_pool;
+}
+
+}  // namespace
+
+std::size_t num_threads() { return global_pool().lanes(); }
+
+void set_num_threads(std::size_t lanes) {
+    const std::size_t want = lanes == 0 ? default_lanes() : lanes;
+    std::lock_guard lock(g_pool_mutex);
+    if (g_pool && g_pool->lanes() == want) return;
+    g_pool = std::make_unique<ThreadPool>(want);
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+    if (n == 0) return;
+    if (t_in_parallel_region) {  // nested: degrade to inline
+        body(0, n);
+        return;
+    }
+    ThreadPool& pool = global_pool();
+    const std::size_t lanes = std::min(pool.lanes(), n);
+    if (lanes <= 1) {
+        body(0, n);
+        return;
+    }
+    pool.run([&](std::size_t lane) {
+        if (lane >= lanes) return;
+        const std::size_t begin = lane * n / lanes;
+        const std::size_t end = (lane + 1) * n / lanes;
+        if (begin < end) body(begin, end);
+    });
+}
+
+void rethrow_first(std::span<const std::exception_ptr> errors) {
+    for (const auto& e : errors)
+        if (e) std::rethrow_exception(e);
+}
+
+}  // namespace nofis::parallel

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <span>
+
+namespace nofis::parallel {
+
+/// Number of hardware threads, never less than 1.
+std::size_t hardware_threads() noexcept;
+
+/// Fixed-size pool of worker threads executing fork-join jobs.
+///
+/// A pool of L "lanes" owns L-1 persistent workers; lane 0 always runs on
+/// the calling thread, so a 1-lane pool spawns no threads at all. `run`
+/// blocks until every lane finished its body. Jobs are not reentrant — a
+/// body must not call back into the same pool (parallel_for detects this
+/// and degrades to inline execution instead).
+class ThreadPool {
+public:
+    explicit ThreadPool(std::size_t lanes);
+    ~ThreadPool();
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t lanes() const noexcept { return lanes_; }
+
+    /// Runs body(lane) once per lane in [0, lanes()); lane 0 executes on
+    /// the caller. If bodies throw, the exception of the lowest lane is
+    /// rethrown after every lane completed.
+    void run(const std::function<void(std::size_t)>& body);
+
+private:
+    struct Impl;
+    std::size_t lanes_;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// Lanes of the process-global pool (see set_num_threads).
+std::size_t num_threads();
+
+/// Resizes the process-global pool. 0 restores the default (the
+/// NOFIS_THREADS environment variable if set, else hardware_threads()).
+/// Not safe to call concurrently with parallel work in flight.
+void set_num_threads(std::size_t lanes);
+
+/// Fork-join loop over [0, n): splits the range into one contiguous,
+/// deterministic chunk per lane ([lane*n/L, (lane+1)*n/L)) and runs
+/// body(begin, end) for each non-empty chunk on the global pool.
+///
+/// Determinism contract: chunk boundaries depend on the lane count, so a
+/// caller that needs bitwise-identical results across thread counts must
+/// (a) write only to disjoint per-index locations inside the body and
+/// (b) perform every reduction serially, in index order, after the call
+/// returns. All batch evaluation in this repo follows that discipline.
+///
+/// Nested calls (from inside a body) and calls while another thread holds
+/// the pool run inline on the caller — same results, no deadlock.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+/// Rethrows the first (lowest-index) non-null exception, if any. Batch
+/// evaluators record per-index failures during a parallel_for and call
+/// this afterwards so the surfaced exception does not depend on thread
+/// count or scheduling.
+void rethrow_first(std::span<const std::exception_ptr> errors);
+
+}  // namespace nofis::parallel

@@ -1,9 +1,12 @@
 #include "testcases/fault_injector.hpp"
 
 #include <chrono>
+#include <exception>
 #include <limits>
+#include <stdexcept>
 
 #include "linalg/solver_error.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace nofis::testcases {
 
@@ -31,7 +34,12 @@ FaultInjector::FaultInjector(const estimators::RareEventProblem& inner,
     : inner_(&inner), cfg_(cfg) {}
 
 void FaultInjector::reset_counters() noexcept {
-    calls_ = nan_ = thrown_singular_ = thrown_nonconv_ = inf_ = latency_ = 0;
+    calls_.store(0, std::memory_order_relaxed);
+    nan_.store(0, std::memory_order_relaxed);
+    thrown_singular_.store(0, std::memory_order_relaxed);
+    thrown_nonconv_.store(0, std::memory_order_relaxed);
+    inf_.store(0, std::memory_order_relaxed);
+    latency_.store(0, std::memory_order_relaxed);
 }
 
 FaultInjector::Inject FaultInjector::decide(std::size_t index) const noexcept {
@@ -53,26 +61,26 @@ void FaultInjector::throw_fault(std::size_t index) const {
     // Alternate the structured kinds so classification paths both get
     // exercised; odd/even split keeps the ledger deterministic.
     if (index % 2 == 0) {
-        ++thrown_singular_;
+        thrown_singular_.fetch_add(1, std::memory_order_relaxed);
         throw SingularMatrixError("FaultInjector: injected singular matrix");
     }
-    ++thrown_nonconv_;
+    thrown_nonconv_.fetch_add(1, std::memory_order_relaxed);
     throw NonConvergenceError("FaultInjector: injected non-convergence");
 }
 
-double FaultInjector::g(std::span<const double> x) const {
-    const std::size_t index = calls_++;
+double FaultInjector::value_at(std::size_t index,
+                               std::span<const double> x) const {
     switch (decide(index)) {
         case Inject::kNan:
-            ++nan_;
+            nan_.fetch_add(1, std::memory_order_relaxed);
             return std::numeric_limits<double>::quiet_NaN();
         case Inject::kThrow:
             throw_fault(index);
         case Inject::kInf:
-            ++inf_;
+            inf_.fetch_add(1, std::memory_order_relaxed);
             return std::numeric_limits<double>::infinity();
         case Inject::kLatency: {
-            ++latency_;
+            latency_.fetch_add(1, std::memory_order_relaxed);
             const auto until =
                 std::chrono::steady_clock::now() +
                 std::chrono::microseconds(
@@ -87,13 +95,11 @@ double FaultInjector::g(std::span<const double> x) const {
     return inner_->g(x);
 }
 
-double FaultInjector::g_grad(std::span<const double> x,
-                             std::span<double> grad_out) const {
-    if (!cfg_.affect_grad) return inner_->g_grad(x, grad_out);
-    const std::size_t index = calls_++;
+double FaultInjector::grad_at(std::size_t index, std::span<const double> x,
+                              std::span<double> grad_out) const {
     switch (decide(index)) {
         case Inject::kNan: {
-            ++nan_;
+            nan_.fetch_add(1, std::memory_order_relaxed);
             const double v = inner_->g_grad(x, grad_out);
             if (!grad_out.empty())
                 grad_out[0] = std::numeric_limits<double>::quiet_NaN();
@@ -102,16 +108,62 @@ double FaultInjector::g_grad(std::span<const double> x,
         case Inject::kThrow:
             throw_fault(index);
         case Inject::kInf:
-            ++inf_;
+            inf_.fetch_add(1, std::memory_order_relaxed);
             inner_->g_grad(x, grad_out);
             return std::numeric_limits<double>::infinity();
         case Inject::kLatency:
-            ++latency_;
+            latency_.fetch_add(1, std::memory_order_relaxed);
             break;
         case Inject::kNone:
             break;
     }
     return inner_->g_grad(x, grad_out);
+}
+
+double FaultInjector::g(std::span<const double> x) const {
+    const std::size_t index = calls_.fetch_add(1, std::memory_order_relaxed);
+    return value_at(index, x);
+}
+
+double FaultInjector::g_indexed(std::size_t index,
+                                std::span<const double> x) const {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    return value_at(index, x);
+}
+
+double FaultInjector::g_grad(std::span<const double> x,
+                             std::span<double> grad_out) const {
+    if (!cfg_.affect_grad) return inner_->g_grad(x, grad_out);
+    const std::size_t index = calls_.fetch_add(1, std::memory_order_relaxed);
+    return grad_at(index, x, grad_out);
+}
+
+double FaultInjector::g_grad_indexed(std::size_t index,
+                                     std::span<const double> x,
+                                     std::span<double> grad_out) const {
+    if (!cfg_.affect_grad) return inner_->g_grad_indexed(index, x, grad_out);
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    return grad_at(index, x, grad_out);
+}
+
+std::vector<double> FaultInjector::g_rows(const linalg::Matrix& x) const {
+    if (x.cols() != dim())
+        throw std::invalid_argument("g_rows: dimension mismatch");
+    const std::size_t base = calls_.fetch_add(x.rows(),
+                                              std::memory_order_relaxed);
+    std::vector<double> out(x.rows());
+    std::vector<std::exception_ptr> errors(x.rows());
+    parallel::parallel_for(x.rows(), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t r = r0; r < r1; ++r) {
+            try {
+                out[r] = value_at(base + r, x.row_span(r));
+            } catch (...) {
+                errors[r] = std::current_exception();
+            }
+        }
+    });
+    parallel::rethrow_first(errors);
+    return out;
 }
 
 }  // namespace nofis::testcases

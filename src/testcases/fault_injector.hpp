@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -33,6 +34,10 @@ struct FaultInjectorConfig {
 /// and injects NaNs, structured solver throws, infinities, and latency at
 /// seeded per-call rates, while keeping an exact ledger of what it injected
 /// so GuardedProblem's FaultReport can be checked count-for-count.
+///
+/// Thread-safe: injection decisions are pure functions of (seed, index) and
+/// every ledger counter is atomic, so batched callers may evaluate rows in
+/// parallel and still replay the exact same faults per call index.
 class FaultInjector final : public estimators::RareEventProblem {
 public:
     FaultInjector(const estimators::RareEventProblem& inner,
@@ -45,21 +50,40 @@ public:
     double g_grad(std::span<const double> x,
                   std::span<double> grad_out) const override;
 
+    /// Indexed entry points: the injection decision is keyed on the
+    /// caller-assigned `index`, so batched / guarded callers replay faults
+    /// identically under any thread count.
+    double g_indexed(std::size_t index,
+                     std::span<const double> x) const override;
+    double g_grad_indexed(std::size_t index, std::span<const double> x,
+                          std::span<double> grad_out) const override;
+    std::vector<double> g_rows(const linalg::Matrix& x) const override;
+
     // --- exact injection ledger ----------------------------------------------
-    std::size_t calls() const noexcept { return calls_; }
-    std::size_t injected_nan() const noexcept { return nan_; }
+    std::size_t calls() const noexcept {
+        return calls_.load(std::memory_order_relaxed);
+    }
+    std::size_t injected_nan() const noexcept {
+        return nan_.load(std::memory_order_relaxed);
+    }
     std::size_t injected_throws() const noexcept {
-        return thrown_singular_ + thrown_nonconv_;
+        return injected_singular() + injected_nonconvergence();
     }
-    std::size_t injected_singular() const noexcept { return thrown_singular_; }
+    std::size_t injected_singular() const noexcept {
+        return thrown_singular_.load(std::memory_order_relaxed);
+    }
     std::size_t injected_nonconvergence() const noexcept {
-        return thrown_nonconv_;
+        return thrown_nonconv_.load(std::memory_order_relaxed);
     }
-    std::size_t injected_inf() const noexcept { return inf_; }
-    std::size_t injected_latency() const noexcept { return latency_; }
+    std::size_t injected_inf() const noexcept {
+        return inf_.load(std::memory_order_relaxed);
+    }
+    std::size_t injected_latency() const noexcept {
+        return latency_.load(std::memory_order_relaxed);
+    }
     /// Faults visible to a guard (latency is a slowdown, not a fault).
     std::size_t injected_total() const noexcept {
-        return nan_ + inf_ + injected_throws();
+        return injected_nan() + injected_inf() + injected_throws();
     }
     void reset_counters() noexcept;
 
@@ -68,15 +92,19 @@ private:
     enum class Inject { kNone, kNan, kThrow, kInf, kLatency };
     Inject decide(std::size_t index) const noexcept;
     [[noreturn]] void throw_fault(std::size_t index) const;
+    /// Injection + evaluation for one decided index; does NOT touch calls_.
+    double value_at(std::size_t index, std::span<const double> x) const;
+    double grad_at(std::size_t index, std::span<const double> x,
+                   std::span<double> grad_out) const;
 
     const estimators::RareEventProblem* inner_;
     FaultInjectorConfig cfg_;
-    mutable std::size_t calls_ = 0;
-    mutable std::size_t nan_ = 0;
-    mutable std::size_t thrown_singular_ = 0;
-    mutable std::size_t thrown_nonconv_ = 0;
-    mutable std::size_t inf_ = 0;
-    mutable std::size_t latency_ = 0;
+    mutable std::atomic<std::size_t> calls_{0};
+    mutable std::atomic<std::size_t> nan_{0};
+    mutable std::atomic<std::size_t> thrown_singular_{0};
+    mutable std::atomic<std::size_t> thrown_nonconv_{0};
+    mutable std::atomic<std::size_t> inf_{0};
+    mutable std::atomic<std::size_t> latency_{0};
 };
 
 }  // namespace nofis::testcases

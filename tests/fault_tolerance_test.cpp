@@ -411,6 +411,58 @@ TEST(GradClip, NoScalingBelowThreshold) {
     EXPECT_DOUBLE_EQ(p.grad()(0, 1), 0.4);
 }
 
+TEST(GradClip, ExplodeLimitIsModeAware) {
+    // Global-norm: limit and norm share a scale, so the threshold is
+    // exactly factor * clip — bitwise, to keep historical runs identical.
+    EXPECT_EQ(nn::grad_explode_limit(nn::GradClipMode::kGlobalNorm, 0.5, 2.0,
+                                     10000),
+              2.0 * 0.5);
+
+    // Per-value: a uniform gradient of magnitude `clip` per component is
+    // perfectly healthy yet has norm clip * sqrt(P). With P = 10000,
+    // clip = 0.5, factor = 2 the old mode-blind threshold (factor * clip
+    // = 1) would flag a norm of 50 — a gradient the clip itself considers
+    // in-bounds — as an explosion. The mode-aware limit is
+    // factor * clip * sqrt(P) = 100.
+    const double per_value =
+        nn::grad_explode_limit(nn::GradClipMode::kPerValue, 0.5, 2.0, 10000);
+    EXPECT_DOUBLE_EQ(per_value, 100.0);
+    const double healthy_norm = 0.5 * std::sqrt(10000.0);  // = 50
+    EXPECT_GT(healthy_norm, 2.0 * 0.5);  // the old threshold misfired here
+    EXPECT_LE(healthy_norm, per_value);  // the mode-aware one does not
+
+    // Degenerate parameter count clamps to 1 instead of collapsing to 0.
+    EXPECT_DOUBLE_EQ(
+        nn::grad_explode_limit(nn::GradClipMode::kPerValue, 0.5, 2.0, 0),
+        1.0);
+}
+
+// End-to-end regression for the mode mismatch: a run whose gradients are
+// legitimately above factor*clip in norm (but per-component in bounds)
+// must not be rolled back under kPerValue clipping.
+TEST(GradClip, PerValueModeDoesNotTriggerSpuriousRollback) {
+    HalfSpace2D prob(2.5);
+    NofisConfig cfg = small_config();
+    cfg.grad_clip_mode = nn::GradClipMode::kPerValue;
+    // This trajectory's pre-clip norms exceed 26 (its ~2.7k parameters put
+    // even component-wise-modest gradients at norm ~ clip*sqrt(P)), so the
+    // old mode-blind threshold factor*clip = 2.5 misfired on every stage.
+    // The mode-aware limit factor*clip*sqrt(P) ≈ 130 correctly reads the
+    // same gradients as healthy.
+    cfg.grad_clip = 5.0;
+    cfg.grad_explode_factor = 0.5;
+    cfg.stage_max_retries = 2;
+    NofisEstimator est(cfg, LevelSchedule::manual({1.5, 0.7, 0.0}));
+    rng::Engine eng(3);
+    const auto run = est.run(prob, eng);
+    EXPECT_EQ(run.health.stage_retries, 0u)
+        << "healthy per-value-clipped gradients were misread as explosions";
+    for (const auto& s : run.stages) {
+        EXPECT_EQ(s.retries, 0u) << "stage " << s.stage;
+        EXPECT_EQ(s.skipped_epochs, 0u) << "stage " << s.stage;
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Parameter snapshot / restore (rollback building block)
 // ---------------------------------------------------------------------------
@@ -543,6 +595,44 @@ TEST(FaultTolerantRun, StageRollbackFiresOnInjectedNanLossAndRecovers) {
     EXPECT_GT(run.estimate.p_hat, 0.0);
     EXPECT_LT(estimators::log_error(run.estimate.p_hat, prob.analytic()),
               1.0);
+}
+
+TEST(FaultTolerantRun, SkippedEpochsRecordNanSentinelNotFabricatedLoss) {
+    HalfSpace2D prob(2.5);
+    NofisConfig cfg = small_config();
+    cfg.epochs = 10;
+    // Propagate + zero stage retries: the poisoned first epoch lands in the
+    // legacy skip path instead of triggering a rollback.
+    cfg.guard.policy = GuardConfig::Policy::kPropagate;
+    cfg.stage_max_retries = 0;
+
+    FaultInjectorConfig icfg;
+    icfg.nan_burst_begin = 0;
+    icfg.nan_burst_end = cfg.samples_per_epoch;  // exactly epoch 0, stage 1
+    const FaultInjector inj(prob, icfg);
+
+    NofisEstimator est(cfg, LevelSchedule::manual({1.5, 0.7, 0.0}));
+    rng::Engine eng(3);
+    const auto run = est.run(inj, eng);
+
+    ASSERT_FALSE(run.stages.empty());
+    const auto& s0 = run.stages[0];
+    ASSERT_EQ(s0.epoch_loss.size(), cfg.epochs);
+    EXPECT_GE(s0.skipped_epochs, 1u);
+    // The skipped epoch computed no loss; fabricating 0.0 (or replaying the
+    // previous epoch's value) used to fake convergence in the curves.
+    EXPECT_TRUE(std::isnan(s0.epoch_loss[0]));
+    EXPECT_TRUE(std::isfinite(s0.epoch_loss.back()));
+    EXPECT_TRUE(std::isfinite(s0.first_finite_loss()));
+    EXPECT_EQ(s0.first_finite_loss(), s0.epoch_loss[1]);
+    EXPECT_EQ(s0.last_finite_loss(), s0.epoch_loss.back());
+
+    // The CSV consumer skips sentinel rows entirely: no "nan" cells, and no
+    // row for stage 1 / epoch 0.
+    const std::string csv = core::loss_curve_csv(run.stages);
+    EXPECT_EQ(csv.find("nan"), std::string::npos);
+    EXPECT_EQ(csv.find("\n1,1.5,0,"), std::string::npos);
+    EXPECT_NE(csv.find("\n1,1.5,1,"), std::string::npos);
 }
 
 TEST(FaultTolerantRun, OpampSurvivesFivePercentFaultRate) {

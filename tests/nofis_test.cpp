@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
 
 #include "core/levels.hpp"
 #include "core/nofis.hpp"
+#include "linalg/solver_error.hpp"
 #include "rng/normal.hpp"
 #include "testcases/synthetic.hpp"
 
@@ -86,6 +89,58 @@ TEST(AutoLevels, DegeneratesToSingleLevelForCommonEvents) {
     rng::Engine eng(2);
     const auto ls = core::auto_levels(counted, eng, {});
     EXPECT_EQ(ls.num_levels(), 1u);
+}
+
+/// Half-space whose g is non-finite on part of the pilot cloud — models a
+/// guarded problem handing back NaN (propagate policy) or inf (clamp).
+class PartiallyNonFinite final : public estimators::RareEventProblem {
+public:
+    /// Returns NaN whenever x1 > cut, else the HalfSpace2D response.
+    explicit PartiallyNonFinite(double t, double cut) : t_(t), cut_(cut) {}
+    std::size_t dim() const noexcept override { return 2; }
+    double g(std::span<const double> x) const override {
+        if (x[1] > cut_) return std::numeric_limits<double>::quiet_NaN();
+        return t_ - x[0];
+    }
+
+private:
+    double t_;
+    double cut_;
+};
+
+TEST(AutoLevels, StripsNonFinitePilotValuesBeforeQuantile) {
+    // ~7% of pilots go NaN; before the fix these sorted unpredictably (NaN
+    // breaks strict-weak-ordering) and silently shifted the quantile.
+    PartiallyNonFinite prob(3.0, 1.5);
+    estimators::CountedProblem counted(prob);
+    rng::Engine eng(1);
+    core::AutoLevelConfig cfg;
+    cfg.num_levels = 4;
+    cfg.pilot_samples = 300;
+    const auto ls = core::auto_levels(counted, eng, cfg);
+    ASSERT_EQ(ls.num_levels(), 4u);
+    for (std::size_t m = 0; m < 4; ++m)
+        EXPECT_TRUE(std::isfinite(ls.level(m))) << "level " << m;
+    for (std::size_t m = 1; m < 4; ++m) EXPECT_LT(ls.level(m), ls.level(m - 1));
+    // The finite-subset quantile still lands near the analytic value.
+    EXPECT_NEAR(ls.level(0), 1.72, 0.4);
+}
+
+TEST(AutoLevels, ThrowsStructuredErrorWhenTooFewPilotsAreFinite) {
+    PartiallyNonFinite prob(3.0, -100.0);  // every pilot g-value is NaN
+    estimators::CountedProblem counted(prob);
+    rng::Engine eng(1);
+    core::AutoLevelConfig cfg;
+    cfg.num_levels = 4;
+    cfg.pilot_samples = 200;
+    try {
+        core::auto_levels(counted, eng, cfg);
+        FAIL() << "expected BadInputError";
+    } catch (const BadInputError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("auto_levels"), std::string::npos);
+        EXPECT_NE(msg.find("finite"), std::string::npos);
+    }
 }
 
 // ---------------------------------------------------------------------------
