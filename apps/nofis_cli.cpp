@@ -23,6 +23,13 @@
 // (0 / absent = NOFIS_THREADS env or hardware concurrency). Output is
 // bitwise identical for any thread count; the flag only changes wall-clock
 // time.
+//
+// Every command also accepts --metrics-out FILE.json: the run is executed
+// with the telemetry layer active and a machine-readable record (per-stage
+// and per-phase wall-clock spans, g-call / fault / rollback counters,
+// ESS and weight diagnostics, thread-pool utilisation) is written to FILE
+// as a single JSON object. Telemetry never perturbs results: estimates are
+// bitwise identical with or without the flag.
 
 #include <cstdio>
 #include <cstring>
@@ -53,10 +60,8 @@ int cmd_list() {
 int cmd_estimate(int argc, char** argv) {
     const std::string case_name = arg_value(argc, argv, "--case", "Leaf");
     const std::string method = arg_value(argc, argv, "--method", "NOFIS");
-    const auto repeats = static_cast<std::size_t>(std::strtoull(
-        arg_value(argc, argv, "--repeats", "3").c_str(), nullptr, 10));
-    const auto seed = std::strtoull(
-        arg_value(argc, argv, "--seed", "1").c_str(), nullptr, 10);
+    const auto repeats = size_flag(argc, argv, "--repeats", "3");
+    const auto seed = u64_flag(argc, argv, "--seed", "1");
 
     const auto tc = testcases::make_case(case_name);
     const auto est = make_estimator(method, *tc);
@@ -64,27 +69,32 @@ int cmd_estimate(int argc, char** argv) {
                 case_name.c_str(), tc->golden_pr(), repeats);
     double mean_err = 0.0;
     for (std::size_t r = 0; r < repeats; ++r) {
+        const telemetry::ScopedSpan repeat_span("repeat");
         rng::Engine eng(seed + 7919 * r);
         const auto res = est->estimate(*tc, eng);
         const double err = estimators::log_error(res.p_hat, tc->golden_pr());
         mean_err += err;
+        // Non-NOFIS methods don't instrument their internals; record the
+        // estimate-level numbers here so every method yields a usable
+        // metrics record. (NOFIS runs count their own calls/diagnostics.)
+        telemetry::count("estimate.runs");
+        if (method != "NOFIS") telemetry::count("calls", res.calls);
+        telemetry::metric("p_hat", res.p_hat);
         std::printf("  run %zu: p = %.4e  calls = %zu  log-err = %.3f%s\n",
                     r, res.p_hat, res.calls, err,
                     res.failed ? "  [FAILED]" : "");
     }
-    std::printf("mean log-error: %.3f\n",
-                mean_err / static_cast<double>(repeats));
+    const double mean = mean_err / static_cast<double>(repeats);
+    telemetry::metric("mean_log_error", mean);
+    std::printf("mean log-error: %.3f\n", mean);
     return 0;
 }
 
 int cmd_levels(int argc, char** argv) {
     const std::string case_name = arg_value(argc, argv, "--case", "Leaf");
-    const auto num = static_cast<std::size_t>(std::strtoull(
-        arg_value(argc, argv, "--num", "5").c_str(), nullptr, 10));
-    const auto pilot = static_cast<std::size_t>(std::strtoull(
-        arg_value(argc, argv, "--pilot", "500").c_str(), nullptr, 10));
-    const auto seed = std::strtoull(
-        arg_value(argc, argv, "--seed", "1").c_str(), nullptr, 10);
+    const auto num = size_flag(argc, argv, "--num", "5");
+    const auto pilot = size_flag(argc, argv, "--pilot", "500");
+    const auto seed = u64_flag(argc, argv, "--seed", "1");
 
     const auto tc = testcases::make_case(case_name);
     estimators::CountedProblem counted(*tc);
@@ -116,14 +126,9 @@ int cmd_train(int argc, char** argv) {
     const std::string case_name = arg_value(argc, argv, "--case", "Leaf");
     const std::string path =
         arg_value(argc, argv, "--save", case_name + ".nofisflow");
-    const auto seed = std::strtoull(
-        arg_value(argc, argv, "--seed", "1").c_str(), nullptr, 10);
-    const double nan_rate =
-        std::strtod(arg_value(argc, argv, "--inject-nan", "0").c_str(),
-                    nullptr);
-    const double throw_rate =
-        std::strtod(arg_value(argc, argv, "--inject-throw", "0").c_str(),
-                    nullptr);
+    const auto seed = u64_flag(argc, argv, "--seed", "1");
+    const double nan_rate = double_flag(argc, argv, "--inject-nan", "0");
+    const double throw_rate = double_flag(argc, argv, "--inject-throw", "0");
 
     const auto tc = testcases::make_case(case_name);
     const auto budget = tc->nofis_budget();
@@ -132,8 +137,7 @@ int cmd_train(int argc, char** argv) {
         parse_policy(arg_value(argc, argv, "--policy", "retry"));
     // Routed through the config (rather than only the global pool) so the
     // NofisConfig knob is exercised end-to-end.
-    cfg.threads = static_cast<std::size_t>(std::strtoull(
-        arg_value(argc, argv, "--threads", "0").c_str(), nullptr, 10));
+    cfg.threads = size_flag(argc, argv, "--threads", "0");
     core::NofisEstimator est(cfg,
                              core::LevelSchedule::manual(budget.levels));
 
@@ -167,10 +171,8 @@ int cmd_reuse(int argc, char** argv) {
     const std::string case_name = arg_value(argc, argv, "--case", "Leaf");
     const std::string path =
         arg_value(argc, argv, "--load", case_name + ".nofisflow");
-    const auto nis = static_cast<std::size_t>(std::strtoull(
-        arg_value(argc, argv, "--nis", "5000").c_str(), nullptr, 10));
-    const auto seed = std::strtoull(
-        arg_value(argc, argv, "--seed", "2").c_str(), nullptr, 10);
+    const auto nis = size_flag(argc, argv, "--nis", "5000");
+    const auto seed = u64_flag(argc, argv, "--seed", "2");
 
     const auto tc = testcases::make_case(case_name);
     const auto stack = flow::load_stack(path);
@@ -183,6 +185,12 @@ int cmd_reuse(int argc, char** argv) {
     core::IsDiagnostics diag;
     const auto res = core::NofisEstimator::importance_estimate(
         stack, *tc, eng, nis, &diag);
+    telemetry::count("calls", res.calls);
+    telemetry::metric("p_hat", res.p_hat);
+    telemetry::metric("ess_hits", diag.effective_sample_size);
+    telemetry::metric("ess_all", diag.ess_all);
+    telemetry::metric("max_weight", diag.max_weight);
+    telemetry::metric("weight_cv", diag.weight_cv);
     std::printf("reused proposal from %s on %s:\n", path.c_str(),
                 case_name.c_str());
     std::printf("  p = %.4e  calls = %zu  log-err = %.3f  hits = %zu  "
@@ -196,7 +204,7 @@ int cmd_reuse(int argc, char** argv) {
 void usage() {
     std::fprintf(stderr,
                  "usage: nofis_cli <list|estimate|levels|train|reuse> "
-                 "[options] [--threads N]\n"
+                 "[options] [--threads N] [--metrics-out FILE.json]\n"
                  "(see the header of apps/nofis_cli.cpp)\n");
 }
 
@@ -208,17 +216,23 @@ int main(int argc, char** argv) {
         return 1;
     }
     apply_threads_flag(argc, argv);
+    MetricsSession metrics(argc, argv);
     const std::string cmd = argv[1];
+    int rc = -1;
     try {
-        if (cmd == "list") return cmd_list();
-        if (cmd == "estimate") return cmd_estimate(argc, argv);
-        if (cmd == "levels") return cmd_levels(argc, argv);
-        if (cmd == "train") return cmd_train(argc, argv);
-        if (cmd == "reuse") return cmd_reuse(argc, argv);
+        if (cmd == "list") rc = cmd_list();
+        if (cmd == "estimate") rc = cmd_estimate(argc, argv);
+        if (cmd == "levels") rc = cmd_levels(argc, argv);
+        if (cmd == "train") rc = cmd_train(argc, argv);
+        if (cmd == "reuse") rc = cmd_reuse(argc, argv);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
-    usage();
-    return 1;
+    if (rc < 0) {
+        usage();
+        return 1;
+    }
+    if (!metrics.finish() && rc == 0) rc = 1;
+    return rc;
 }

@@ -13,8 +13,10 @@ int main(int argc, char** argv) {
     using namespace nofis;
     using namespace nofis::bench;
 
-    const auto repeats = static_cast<std::size_t>(std::strtoull(
-        arg_value(argc, argv, "--repeats", "2").c_str(), nullptr, 10));
+    apply_threads_flag(argc, argv);
+    MetricsSession metrics(argc, argv);
+
+    const auto repeats = size_flag(argc, argv, "--repeats", "2");
 
     testcases::LeafCase leaf;
     const auto budget = leaf.nofis_budget();

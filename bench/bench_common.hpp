@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <string>
@@ -14,6 +15,8 @@
 
 #include "core/nofis.hpp"
 #include "parallel/thread_pool.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/parse.hpp"
 #include "estimators/adaptive_is.hpp"
 #include "estimators/monte_carlo.hpp"
 #include "estimators/sir.hpp"
@@ -150,13 +153,93 @@ inline std::string arg_value(int argc, char** argv, const char* name,
     return fallback;
 }
 
+/// Strict numeric flag readers. A malformed value ("--repeats abc", "12x",
+/// "-3" for a count) is a hard error with a diagnostic and exit code 2 —
+/// never a silent 0 that makes the run "succeed" doing nothing.
+[[noreturn]] inline void flag_error(const char* name,
+                                    const std::string& value) {
+    std::fprintf(stderr,
+                 "error: invalid value '%s' for %s (expected a number)\n",
+                 value.c_str(), name);
+    std::exit(2);
+}
+
+inline std::size_t size_flag(int argc, char** argv, const char* name,
+                             const std::string& fallback) {
+    const std::string raw = arg_value(argc, argv, name, fallback);
+    const auto parsed = util::parse_u64(raw);
+    if (!parsed) flag_error(name, raw);
+    return static_cast<std::size_t>(*parsed);
+}
+
+inline std::uint64_t u64_flag(int argc, char** argv, const char* name,
+                              const std::string& fallback) {
+    const std::string raw = arg_value(argc, argv, name, fallback);
+    const auto parsed = util::parse_u64(raw);
+    if (!parsed) flag_error(name, raw);
+    return *parsed;
+}
+
+inline double double_flag(int argc, char** argv, const char* name,
+                          const std::string& fallback) {
+    const std::string raw = arg_value(argc, argv, name, fallback);
+    const auto parsed = util::parse_double(raw);
+    if (!parsed) flag_error(name, raw);
+    return *parsed;
+}
+
 /// Applies a "--threads N" flag (0 / absent = NOFIS_THREADS env or hardware
 /// concurrency) to the global evaluation pool. Results are bitwise
 /// identical for any value; the flag only changes wall-clock time.
 inline void apply_threads_flag(int argc, char** argv) {
-    const auto threads = static_cast<std::size_t>(std::strtoull(
-        arg_value(argc, argv, "--threads", "0").c_str(), nullptr, 10));
+    const auto threads = size_flag(argc, argv, "--threads", "0");
     if (threads > 0) parallel::set_num_threads(threads);
 }
+
+/// Run telemetry for a whole binary invocation: construct one of these
+/// early in main(); when the user passed `--metrics-out FILE.json` it
+/// activates a process-global telemetry::RunTrace that the instrumented
+/// library code (NofisEstimator::run, GuardedProblem, the thread pool, the
+/// tiled matmul) reports into, and finish() — called by the destructor at
+/// the latest — appends the pool stats and writes the record as JSON.
+/// Without the flag everything stays in the zero-cost off mode.
+class MetricsSession {
+public:
+    MetricsSession(int argc, char** argv)
+        : path_(arg_value(argc, argv, "--metrics-out", "")) {
+        if (enabled()) telemetry::set_active(&trace_);
+    }
+    ~MetricsSession() { finish(); }
+    MetricsSession(const MetricsSession&) = delete;
+    MetricsSession& operator=(const MetricsSession&) = delete;
+
+    bool enabled() const noexcept { return !path_.empty(); }
+    telemetry::RunTrace& trace() noexcept { return trace_; }
+
+    /// Writes the JSON record (idempotent). Returns false when the file
+    /// could not be written; callers that care propagate a nonzero exit.
+    bool finish() {
+        if (!enabled() || finished_) return ok_;
+        finished_ = true;
+        parallel::export_pool_stats(trace_);
+        telemetry::set_active(nullptr);
+        std::ofstream os(path_);
+        if (os) {
+            trace_.write_json(os);
+            os << '\n';
+        }
+        ok_ = static_cast<bool>(os);
+        if (!ok_)
+            std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                         path_.c_str());
+        return ok_;
+    }
+
+private:
+    std::string path_;
+    telemetry::RunTrace trace_;
+    bool finished_ = false;
+    bool ok_ = true;
+};
 
 }  // namespace nofis::bench

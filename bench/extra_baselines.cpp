@@ -15,8 +15,10 @@ int main(int argc, char** argv) {
     using namespace nofis;
     using namespace nofis::bench;
 
-    const auto repeats = static_cast<std::size_t>(std::strtoull(
-        arg_value(argc, argv, "--repeats", "3").c_str(), nullptr, 10));
+    apply_threads_flag(argc, argv);
+    MetricsSession metrics(argc, argv);
+
+    const auto repeats = size_flag(argc, argv, "--repeats", "3");
     const auto cases = split_csv(
         arg_value(argc, argv, "--cases", "Leaf,Oscillator,YBranch"));
 

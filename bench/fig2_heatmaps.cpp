@@ -97,13 +97,12 @@ std::vector<Shape> make_shapes() {
 
 int main(int argc, char** argv) {
     using namespace nofis::bench;
+
+    apply_threads_flag(argc, argv);
+    MetricsSession metrics(argc, argv);
     const std::string out_dir = arg_value(argc, argv, "--out", "fig2_out");
-    const auto grid = static_cast<std::size_t>(
-        std::strtoull(arg_value(argc, argv, "--grid", "120").c_str(),
-                      nullptr, 10));
-    const auto epochs = static_cast<std::size_t>(
-        std::strtoull(arg_value(argc, argv, "--epochs", "220").c_str(),
-                      nullptr, 10));
+    const auto grid = size_flag(argc, argv, "--grid", "120");
+    const auto epochs = size_flag(argc, argv, "--epochs", "220");
     std::filesystem::create_directories(out_dir);
 
     std::printf("Figure 2 reproduction (unlimited-call regime)\n");

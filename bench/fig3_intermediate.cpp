@@ -20,8 +20,8 @@ int main(int argc, char** argv) {
     using namespace nofis::bench;
 
     apply_threads_flag(argc, argv);
-    const auto epochs = static_cast<std::size_t>(std::strtoull(
-        arg_value(argc, argv, "--epochs", "200").c_str(), nullptr, 10));
+    MetricsSession metrics(argc, argv);
+    const auto epochs = size_flag(argc, argv, "--epochs", "200");
     const std::string out = arg_value(argc, argv, "--out", "fig3_loss.csv");
 
     testcases::LeafCase leaf;

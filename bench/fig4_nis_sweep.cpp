@@ -14,10 +14,11 @@ int main(int argc, char** argv) {
     using namespace nofis;
     using namespace nofis::bench;
 
-    const auto repeats = static_cast<std::size_t>(std::strtoull(
-        arg_value(argc, argv, "--repeats", "5").c_str(), nullptr, 10));
-    const auto seed = std::strtoull(arg_value(argc, argv, "--seed", "1").c_str(),
-                                    nullptr, 10);
+    apply_threads_flag(argc, argv);
+    MetricsSession metrics(argc, argv);
+
+    const auto repeats = size_flag(argc, argv, "--repeats", "5");
+    const auto seed = u64_flag(argc, argv, "--seed", "1");
 
     testcases::LeafCase leaf;
     const auto budget = leaf.nofis_budget();

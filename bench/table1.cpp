@@ -16,17 +16,15 @@ int main(int argc, char** argv) {
     using namespace nofis::bench;
 
     apply_threads_flag(argc, argv);
+    MetricsSession metrics(argc, argv);
     const auto case_names =
         split_csv(arg_value(argc, argv, "--cases",
                             "Leaf,Cube,Rosen,Levy,Powell,Opamp,Oscillator,"
                             "ChargePump,YBranch,DeepNet62"));
     const auto methods = split_csv(
         arg_value(argc, argv, "--methods", "MC,SIR,SUC,SUS,SSS,Adapt-IS,NOFIS"));
-    const auto repeats = static_cast<std::size_t>(
-        std::strtoull(arg_value(argc, argv, "--repeats", "2").c_str(),
-                      nullptr, 10));
-    const auto seed = std::strtoull(
-        arg_value(argc, argv, "--seed", "20240101").c_str(), nullptr, 10);
+    const auto repeats = size_flag(argc, argv, "--repeats", "2");
+    const auto seed = u64_flag(argc, argv, "--seed", "20240101");
 
     std::printf("Table 1 reproduction — %zu repeat(s), seed %llu\n", repeats,
                 static_cast<unsigned long long>(seed));

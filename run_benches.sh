@@ -1,8 +1,18 @@
 #!/bin/sh
 # Regenerates every paper table/figure and the extension ablations.
+# Exits nonzero when any bench fails, so CI (and scripts) can catch a
+# broken bench instead of a log line scrolling past.
 cd "$(dirname "$0")"
+failed=0
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "=== $b ==="
-  "$b" || echo "BENCH $b FAILED"
+  if ! "$b"; then
+    echo "BENCH $b FAILED"
+    failed=$((failed + 1))
+  fi
 done
+if [ "$failed" -gt 0 ]; then
+  echo "$failed bench(es) FAILED"
+  exit 1
+fi

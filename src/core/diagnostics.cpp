@@ -5,6 +5,8 @@
 #include <limits>
 #include <sstream>
 
+#include "util/ios_guard.hpp"
+
 namespace nofis::core {
 
 double StageDiagnostics::first_finite_loss() const noexcept {
@@ -27,9 +29,15 @@ std::string RunHealth::summary() const {
        << (stage_retries == 1 ? "y" : "ies") << " across "
        << stages_rolled_back << " stage(s), " << skipped_epochs
        << " epoch(s) skipped\n";
-    os << std::setprecision(4) << "  proposal: ESS(hits) = " << final_ess
-       << ", ESS(all) = " << ess_all << ", max weight = " << max_weight
-       << ", weight CV = " << weight_cv;
+    {
+        // Scope the 4-digit precision to the proposal line: summary() may
+        // one day write into a caller's stream, and the guard keeps the
+        // setprecision from leaking past this block either way.
+        const util::IosStateGuard guard(os);
+        os << std::setprecision(4) << "  proposal: ESS(hits) = " << final_ess
+           << ", ESS(all) = " << ess_all << ", max weight = " << max_weight
+           << ", weight CV = " << weight_cv;
+    }
     return os.str();
 }
 

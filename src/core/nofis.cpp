@@ -4,6 +4,7 @@
 #include <cmath>
 #include <exception>
 #include <limits>
+#include <optional>
 
 #include "autodiff/ops.hpp"
 #include "dist/diag_gaussian.hpp"
@@ -11,6 +12,7 @@
 #include "nn/optimizer.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/normal.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace nofis::core {
 
@@ -38,6 +40,8 @@ EstimateResult NofisEstimator::estimate(
 
 NofisEstimator::RunResult NofisEstimator::run(
     const estimators::RareEventProblem& problem, rng::Engine& eng) const {
+    // End-to-end span; "train"/"stage_m"/phases and "final_is" nest inside.
+    const telemetry::ScopedSpan run_span("nofis_run");
     const std::size_t d = problem.dim();
     const std::size_t num_stages = levels_.num_levels();
     if (cfg_.threads > 0) parallel::set_num_threads(cfg_.threads);
@@ -101,6 +105,12 @@ NofisEstimator::RunResult NofisEstimator::run(
         diag.inside_fraction = 0.0;
 
         for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+            // Per-phase wall-clock spans. The spans accumulate across the
+            // stage's epochs (count = epochs timed); none of them touches
+            // the RNG or the math, so estimates are bitwise identical with
+            // telemetry on or off.
+            std::optional<telemetry::ScopedSpan> phase;
+            phase.emplace("sample_forward");
             const Matrix z0 = rng::standard_normal_matrix(eng, n, d);
 
             // Frozen prefix on the cheap value path; graph only for the
@@ -114,6 +124,7 @@ NofisEstimator::RunResult NofisEstimator::run(
             }
             auto fwd = stack->forward_range(Var(z_in), graph_begin, m);
             const Matrix& z = fwd.z.value();
+            phase.reset();
 
             if (!z.all_finite()) {
                 if (abort_on_divergence)
@@ -134,8 +145,11 @@ NofisEstimator::RunResult NofisEstimator::run(
             // indices in row order). The reductions below run serially in
             // row order, so the loss is bitwise identical at any thread
             // count.
+            phase.emplace("g_eval");
             train_g_calls += n;
+            telemetry::count("g_calls.train", n);
             const std::vector<double> g_vals = guarded.g_rows(z);
+            phase.reset();
 
             Matrix target_grad(n, d);
             double target_value = 0.0;
@@ -162,6 +176,8 @@ NofisEstimator::RunResult NofisEstimator::run(
             // writes only its own target_grad slice, so this fans out on
             // the pool with one reserved call index per row.
             {
+                phase.emplace("g_grad");
+                telemetry::count("g_grad_calls", grad_rows.size());
                 const std::size_t gbase = guarded.reserve_calls(
                     grad_rows.size());
                 std::vector<std::exception_ptr> errors(grad_rows.size());
@@ -182,6 +198,7 @@ NofisEstimator::RunResult NofisEstimator::run(
                         }
                     });
                 parallel::rethrow_first(errors);
+                phase.reset();
             }
             for (std::size_t r = 0; r < n; ++r) {
                 const auto zr = z.row_span(r);
@@ -211,16 +228,20 @@ NofisEstimator::RunResult NofisEstimator::run(
                 continue;
             }
 
+            phase.emplace("backward");
             opt.zero_grad();
             graph_loss.backward();
             const double grad_norm =
                 opt.clip_gradients(cfg_.grad_clip_mode, clip);
+            phase.reset();
             if (abort_on_divergence &&
                 (!std::isfinite(grad_norm) || grad_norm > explode_limit))
                 return {true, "exploding gradient norm"};
+            phase.emplace("optimizer");
             opt.set_learning_rate(stage_lr);
             opt.step();
             stage_lr *= cfg_.lr_decay;
+            phase.reset();
 
             diag.epoch_loss.push_back(true_loss);
             diag.inside_fraction = inside;
@@ -232,31 +253,39 @@ NofisEstimator::RunResult NofisEstimator::run(
         return {};
     };
 
-    for (std::size_t m = 1; m <= num_stages; ++m) {
-        StageDiagnostics diag;
-        diag.stage = m;
-        diag.level = levels_.level(m - 1);
+    {
+        const telemetry::ScopedSpan train_span("train");
+        for (std::size_t m = 1; m <= num_stages; ++m) {
+            // Retries re-enter the same stage span, so its wall-clock covers
+            // every attempt and its phase counts expose the extra epochs.
+            const telemetry::ScopedSpan stage_span("stage_" +
+                                                   std::to_string(m));
+            StageDiagnostics diag;
+            diag.stage = m;
+            diag.level = levels_.level(m - 1);
 
-        // Checkpoint before the stage touches any parameter; rolled-back
-        // retries restart training from exactly this state.
-        const flow::ParamSnapshot checkpoint = flow::snapshot_params(*stack);
-        double lr = cfg_.learning_rate;
-        double clip = cfg_.grad_clip;
+            // Checkpoint before the stage touches any parameter; rolled-back
+            // retries restart training from exactly this state.
+            const flow::ParamSnapshot checkpoint =
+                flow::snapshot_params(*stack);
+            double lr = cfg_.learning_rate;
+            double clip = cfg_.grad_clip;
 
-        for (std::size_t attempt = 0;; ++attempt) {
-            const bool last_attempt = attempt >= cfg_.stage_max_retries;
-            const StageOutcome out =
-                train_stage(m, lr, clip, !last_attempt, diag);
-            if (!out.diverged || last_attempt) break;
+            for (std::size_t attempt = 0;; ++attempt) {
+                const bool last_attempt = attempt >= cfg_.stage_max_retries;
+                const StageOutcome out =
+                    train_stage(m, lr, clip, !last_attempt, diag);
+                if (!out.diverged || last_attempt) break;
 
-            flow::restore_params(*stack, checkpoint);
-            stack->tighten_scale_cap(m - 1, cfg_.retry_scale_cap_factor);
-            lr *= cfg_.retry_lr_factor;
-            clip *= cfg_.retry_grad_clip_factor;
-            ++diag.retries;
-            diag.retry_reasons.emplace_back(out.reason);
+                flow::restore_params(*stack, checkpoint);
+                stack->tighten_scale_cap(m - 1, cfg_.retry_scale_cap_factor);
+                lr *= cfg_.retry_lr_factor;
+                clip *= cfg_.retry_grad_clip_factor;
+                ++diag.retries;
+                diag.retry_reasons.emplace_back(out.reason);
+            }
+            result.stages.push_back(std::move(diag));
         }
-        result.stages.push_back(std::move(diag));
     }
 
     // Final importance-sampling estimate with q_MK (Eq. 2), still guarded.
@@ -285,6 +314,34 @@ NofisEstimator::RunResult NofisEstimator::run(
     if (health.degraded() && est.detail.empty())
         est.detail = health.faults.summary();
 
+    // Fold the run's health ledger and proposal-quality numbers into the
+    // active telemetry record (counters accumulate across repeated runs;
+    // metrics hold the last run's values).
+    if (telemetry::RunTrace* tr = telemetry::active()) {
+        tr->add_counter("calls", est.calls);
+        tr->add_counter("g_retry_calls", health.g_retry_calls);
+        tr->add_counter("stage_retries", health.stage_retries);
+        tr->add_counter("stages_rolled_back", health.stages_rolled_back);
+        tr->add_counter("skipped_epochs", health.skipped_epochs);
+        tr->add_counter("faults.total", health.faults.total_faults());
+        using estimators::FaultKind;
+        for (std::size_t k = 0;
+             k < static_cast<std::size_t>(FaultKind::kCount); ++k) {
+            const auto kind = static_cast<FaultKind>(k);
+            if (health.faults.count(kind) > 0)
+                tr->add_counter(std::string("faults.") +
+                                    estimators::fault_kind_name(kind),
+                                health.faults.count(kind));
+        }
+        tr->set_metric("p_hat", est.p_hat);
+        tr->set_metric("ess_hits", health.final_ess);
+        tr->set_metric("ess_all", health.ess_all);
+        tr->set_metric("max_weight", health.max_weight);
+        tr->set_metric("weight_cv", health.weight_cv);
+        tr->set_metric("is_hits", static_cast<double>(is_diag.hits));
+        tr->set_metric("is_draws", static_cast<double>(is_diag.draws));
+    }
+
     result.estimate = est;
     result.is_diag = is_diag;
     result.health = std::move(health);
@@ -297,6 +354,10 @@ EstimateResult NofisEstimator::importance_estimate(
     const estimators::RareEventProblem& problem, rng::Engine& eng,
     std::size_t n_is, IsDiagnostics* diag, double defensive_weight,
     double defensive_sigma) {
+    // The final Eq. (2) estimate — one span whether reached from run() (it
+    // nests under the run's trace) or standalone via the CLI reuse path.
+    const telemetry::ScopedSpan is_span("final_is");
+    telemetry::count("g_calls.final_is", n_is);
     CountedProblem counted(problem);
     const std::size_t d_dim = trained_flow.dim();
     const std::size_t blocks = trained_flow.num_blocks();

@@ -1,17 +1,37 @@
 #include "flow/serialize.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/ios_guard.hpp"
 
 namespace nofis::flow {
 
 namespace {
 constexpr const char* kMagic = "nofisflow-v1";
 
+// Sanity bounds on the header of a loaded file. A truncated or corrupt
+// stream can otherwise hand the architecture constructor absurd sizes and
+// trigger huge allocations before any read fails; every real flow in this
+// repo is orders of magnitude below these caps.
+constexpr std::size_t kMaxDim = 1u << 20;
+constexpr std::size_t kMaxBlocks = 4096;
+constexpr std::size_t kMaxLayersPerBlock = 4096;
+constexpr std::size_t kMaxHiddenLayers = 256;
+constexpr std::size_t kMaxHiddenWidth = 1u << 20;
+
 [[noreturn]] void fail(const std::string& what) {
     throw std::runtime_error("flow serialisation: " + what);
+}
+
+void check_bound(const char* what, std::size_t value, std::size_t lo,
+                 std::size_t hi) {
+    if (value < lo || value > hi)
+        fail(std::string("implausible ") + what + " " +
+             std::to_string(value) + " in header (corrupt file?)");
 }
 }  // namespace
 
@@ -28,12 +48,17 @@ void save_stack(const CouplingStack& stack, std::ostream& os) {
 
     const auto params = stack.params();
     os << params.size() << '\n';
-    os << std::setprecision(17);
-    for (const auto& p : params) {
-        const auto& m = p.value();
-        os << m.rows() << ' ' << m.cols();
-        for (double v : m.flat()) os << ' ' << v;
-        os << '\n';
+    {
+        // Full-precision doubles for the round-trip; the guard keeps the
+        // caller's precision/flags from being clobbered past this call.
+        const util::IosStateGuard guard(os);
+        os << std::setprecision(17);
+        for (const auto& p : params) {
+            const auto& m = p.value();
+            os << m.rows() << ' ' << m.cols();
+            for (double v : m.flat()) os << ' ' << v;
+            os << '\n';
+        }
     }
     if (!os) fail("write error");
 }
@@ -54,13 +79,27 @@ CouplingStack load_stack(std::istream& is) {
     int actnorm = 0;
     is >> cfg.dim >> cfg.num_blocks >> cfg.layers_per_block >>
         cfg.scale_cap >> kind >> actnorm;
+    if (!is) fail("truncated header");
+    if (kind != "affine" && kind != "additive")
+        fail("unknown coupling kind '" + kind + "'");
     cfg.coupling =
         kind == "affine" ? CouplingKind::kAffine : CouplingKind::kAdditive;
     cfg.use_actnorm = actnorm != 0;
+    check_bound("dim", cfg.dim, 1, kMaxDim);
+    check_bound("block count", cfg.num_blocks, 1, kMaxBlocks);
+    check_bound("layers per block", cfg.layers_per_block, 1,
+                kMaxLayersPerBlock);
+    if (!std::isfinite(cfg.scale_cap) || cfg.scale_cap <= 0.0)
+        fail("implausible scale cap in header (corrupt file?)");
     std::size_t hidden_count = 0;
     is >> hidden_count;
+    if (!is) fail("truncated header");
+    check_bound("hidden layer count", hidden_count, 0, kMaxHiddenLayers);
     cfg.hidden.resize(hidden_count);
-    for (auto& h : cfg.hidden) is >> h;
+    for (auto& h : cfg.hidden) {
+        is >> h;
+        if (is) check_bound("hidden width", h, 1, kMaxHiddenWidth);
+    }
     if (!is) fail("truncated header");
 
     // Architecture is reconstructed, then every parameter is overwritten,

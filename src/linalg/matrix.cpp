@@ -1,12 +1,14 @@
 #include "linalg/matrix.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 
 #include "parallel/thread_pool.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace nofis::linalg {
 
@@ -193,10 +195,30 @@ Matrix Matrix::matmul(const Matrix& rhs) const {
     // Row-tiled parallel kernel: every output row is produced by exactly one
     // lane with the same inner loop and accumulation order as the serial
     // path, so the product is bitwise identical at any thread count.
-    if (rows_ * cols_ * rhs.cols_ >= kParallelMatmulMinOps)
-        parallel::parallel_for(rows_, row_range);
-    else
+    const std::size_t madds = rows_ * cols_ * rhs.cols_;
+    if (madds >= kParallelMatmulMinOps) {
+        // Only the tiled path reports telemetry: the small conditioner
+        // products are far too frequent for a shared counter, and the
+        // tiled products are what the perf PRs optimise. Counting and
+        // timing touch nothing the kernel computes, so results are
+        // unchanged with telemetry on or off.
+        if (telemetry::RunTrace* tr = telemetry::active()) {
+            const auto t0 = std::chrono::steady_clock::now();
+            parallel::parallel_for(rows_, row_range);
+            const auto dt = std::chrono::steady_clock::now() - t0;
+            tr->add_counter("matmul.tiled_calls", 1);
+            tr->add_counter("matmul.tiled_madds", madds);
+            tr->add_counter(
+                "matmul.tiled_busy_us",
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(dt)
+                        .count()));
+        } else {
+            parallel::parallel_for(rows_, row_range);
+        }
+    } else {
         row_range(0, rows_);
+    }
     return out;
 }
 

@@ -1,12 +1,16 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "telemetry/telemetry.hpp"
 
 namespace nofis::parallel {
 
@@ -35,6 +39,37 @@ struct ThreadPool::Impl {
     std::vector<std::exception_ptr> lane_error;
     std::vector<std::thread> workers;
 
+    // Utilisation telemetry. Counters are relaxed (snapshot-consistent is
+    // enough for a metrics record); busy-time clock reads happen only while
+    // a trace is active, keeping the off mode free of timing syscalls.
+    std::atomic<std::uint64_t> jobs{0};
+    std::atomic<std::uint64_t> tasks{0};
+    std::vector<std::atomic<std::uint64_t>> lane_busy_ns;
+
+    /// Runs one lane body, tallying task count and (if telemetry is on)
+    /// the lane's busy wall-clock. Never lets an exception escape past the
+    /// lane_error slot.
+    void run_lane(const std::function<void(std::size_t)>& job,
+                  std::size_t lane) {
+        const bool timed = telemetry::active() != nullptr;
+        const auto t0 = timed ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
+        tasks.fetch_add(1, std::memory_order_relaxed);
+        try {
+            job(lane);
+        } catch (...) {
+            lane_error[lane] = std::current_exception();
+        }
+        if (timed) {
+            const auto dt = std::chrono::steady_clock::now() - t0;
+            lane_busy_ns[lane].fetch_add(
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                        .count()),
+                std::memory_order_relaxed);
+        }
+    }
+
     void worker_loop(std::size_t lane) {
         std::uint64_t seen = 0;
         for (;;) {
@@ -49,11 +84,7 @@ struct ThreadPool::Impl {
                 job = body;
             }
             t_in_parallel_region = true;
-            try {
-                (*job)(lane);
-            } catch (...) {
-                lane_error[lane] = std::current_exception();
-            }
+            run_lane(*job, lane);
             t_in_parallel_region = false;
             {
                 std::lock_guard lock(m);
@@ -66,6 +97,7 @@ struct ThreadPool::Impl {
 ThreadPool::ThreadPool(std::size_t lanes)
     : lanes_(lanes == 0 ? 1 : lanes), impl_(std::make_unique<Impl>()) {
     impl_->lane_error.resize(lanes_);
+    impl_->lane_busy_ns = std::vector<std::atomic<std::uint64_t>>(lanes_);
     impl_->workers.reserve(lanes_ - 1);
     for (std::size_t lane = 1; lane < lanes_; ++lane)
         impl_->workers.emplace_back([this, lane] { impl_->worker_loop(lane); });
@@ -82,6 +114,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::run(const std::function<void(std::size_t)>& body) {
     std::lock_guard run_lock(impl_->run_mutex);
+    impl_->jobs.fetch_add(1, std::memory_order_relaxed);
     for (auto& e : impl_->lane_error) e = nullptr;
     if (lanes_ > 1) {
         std::lock_guard lock(impl_->m);
@@ -92,11 +125,7 @@ void ThreadPool::run(const std::function<void(std::size_t)>& body) {
     }
     const bool was_inside = t_in_parallel_region;
     t_in_parallel_region = true;
-    try {
-        body(0);
-    } catch (...) {
-        impl_->lane_error[0] = std::current_exception();
-    }
+    impl_->run_lane(body, 0);
     t_in_parallel_region = was_inside;
     if (lanes_ > 1) {
         std::unique_lock lock(impl_->m);
@@ -162,6 +191,34 @@ void parallel_for(std::size_t n,
 void rethrow_first(std::span<const std::exception_ptr> errors) {
     for (const auto& e : errors)
         if (e) std::rethrow_exception(e);
+}
+
+PoolStats ThreadPool::stats() const {
+    PoolStats s;
+    s.lanes = lanes_;
+    s.jobs = impl_->jobs.load(std::memory_order_relaxed);
+    s.tasks = impl_->tasks.load(std::memory_order_relaxed);
+    s.lane_busy_ms.reserve(lanes_);
+    for (const auto& ns : impl_->lane_busy_ns)
+        s.lane_busy_ms.push_back(
+            static_cast<double>(ns.load(std::memory_order_relaxed)) / 1e6);
+    return s;
+}
+
+PoolStats pool_stats() { return global_pool().stats(); }
+
+void export_pool_stats(telemetry::RunTrace& trace) {
+    const PoolStats s = pool_stats();
+    trace.add_counter("pool.jobs", s.jobs);
+    trace.add_counter("pool.tasks", s.tasks);
+    trace.set_metric("pool.lanes", static_cast<double>(s.lanes));
+    double total_ms = 0.0;
+    for (std::size_t lane = 0; lane < s.lane_busy_ms.size(); ++lane) {
+        trace.set_metric("pool.lane" + std::to_string(lane) + ".busy_ms",
+                         s.lane_busy_ms[lane]);
+        total_ms += s.lane_busy_ms[lane];
+    }
+    trace.set_metric("pool.busy_ms", total_ms);
 }
 
 }  // namespace nofis::parallel

@@ -1,12 +1,30 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <span>
+#include <vector>
+
+namespace nofis::telemetry {
+class RunTrace;
+}
 
 namespace nofis::parallel {
+
+/// Utilisation snapshot of one pool: fork-join jobs dispatched, lane bodies
+/// executed, and cumulative per-lane busy wall-clock. Busy time is sampled
+/// only while a telemetry trace is active (two steady_clock reads per lane
+/// per job); with telemetry off the pool does no timing at all. The job and
+/// task tallies are plain relaxed counters and always on.
+struct PoolStats {
+    std::size_t lanes = 0;
+    std::uint64_t jobs = 0;   ///< ThreadPool::run invocations
+    std::uint64_t tasks = 0;  ///< lane bodies executed across all jobs
+    std::vector<double> lane_busy_ms;  ///< cumulative busy time per lane
+};
 
 /// Number of hardware threads, never less than 1.
 std::size_t hardware_threads() noexcept;
@@ -31,6 +49,9 @@ public:
     /// the caller. If bodies throw, the exception of the lowest lane is
     /// rethrown after every lane completed.
     void run(const std::function<void(std::size_t)>& body);
+
+    /// Cumulative utilisation of this pool since construction.
+    PoolStats stats() const;
 
 private:
     struct Impl;
@@ -66,5 +87,13 @@ void parallel_for(std::size_t n,
 /// this afterwards so the surfaced exception does not depend on thread
 /// count or scheduling.
 void rethrow_first(std::span<const std::exception_ptr> errors);
+
+/// Utilisation of the process-global pool (created on first use).
+PoolStats pool_stats();
+
+/// Dumps pool_stats() into `trace` as counters (pool.jobs, pool.tasks) and
+/// metrics (pool.lanes, pool.lane<i>.busy_ms, pool.busy_ms). Called by the
+/// metrics exporters right before serialising a run record.
+void export_pool_stats(telemetry::RunTrace& trace);
 
 }  // namespace nofis::parallel

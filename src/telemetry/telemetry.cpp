@@ -1,0 +1,197 @@
+#include "telemetry/telemetry.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace nofis::telemetry {
+
+namespace detail {
+std::atomic<RunTrace*> g_active{nullptr};
+}  // namespace detail
+
+SpanNode& SpanNode::find_or_add(std::string_view child_name) {
+    for (auto& c : children)
+        if (c->name == child_name) return *c;
+    children.push_back(std::make_unique<SpanNode>());
+    children.back()->name = std::string(child_name);
+    return *children.back();
+}
+
+const SpanNode* SpanNode::find(std::string_view child_name) const noexcept {
+    for (const auto& c : children)
+        if (c->name == child_name) return c.get();
+    return nullptr;
+}
+
+RunTrace::RunTrace() : owner_(std::this_thread::get_id()) {
+    root_.name = "run";
+}
+
+void RunTrace::add_counter(std::string_view name, std::uint64_t delta) {
+    std::lock_guard lock(mutex_);
+    const auto it = counters_.find(name);
+    if (it != counters_.end())
+        it->second += delta;
+    else
+        counters_.emplace(std::string(name), delta);
+}
+
+std::uint64_t RunTrace::counter(std::string_view name) const {
+    std::lock_guard lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::uint64_t> RunTrace::counters() const {
+    std::lock_guard lock(mutex_);
+    return {counters_.begin(), counters_.end()};
+}
+
+void RunTrace::set_metric(std::string_view name, double value) {
+    std::lock_guard lock(mutex_);
+    const auto it = metrics_.find(name);
+    if (it != metrics_.end())
+        it->second = value;
+    else
+        metrics_.emplace(std::string(name), value);
+}
+
+double RunTrace::metric(std::string_view name, double fallback) const {
+    std::lock_guard lock(mutex_);
+    const auto it = metrics_.find(name);
+    return it == metrics_.end() ? fallback : it->second;
+}
+
+bool RunTrace::has_metric(std::string_view name) const {
+    std::lock_guard lock(mutex_);
+    return metrics_.find(name) != metrics_.end();
+}
+
+std::map<std::string, double> RunTrace::metrics() const {
+    std::lock_guard lock(mutex_);
+    return {metrics_.begin(), metrics_.end()};
+}
+
+void set_active(RunTrace* trace) noexcept {
+    if (trace != nullptr) {
+        trace->owner_ = std::this_thread::get_id();
+        trace->current_ = &trace->root_;
+    }
+    detail::g_active.store(trace, std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) {
+    RunTrace* tr = active();
+    if (tr == nullptr || tr->owner_ != std::this_thread::get_id()) return;
+    trace_ = tr;
+    parent_ = tr->current_;
+    node_ = &parent_->find_or_add(name);
+    tr->current_ = node_;
+    t0_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+    if (trace_ == nullptr) return;
+    const auto dt = std::chrono::steady_clock::now() - t0_;
+    node_->wall_ms +=
+        std::chrono::duration<double, std::milli>(dt).count();
+    ++node_->count;
+    // Unwind even if scopes were torn down out of order by an exception
+    // propagating through several spans at once.
+    if (trace_->current_ == node_) trace_->current_ = parent_;
+}
+
+void write_json_string(std::ostream& os, std::string_view s) {
+    os << '"';
+    for (const char ch : s) {
+        switch (ch) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\r': os << "\\r"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(ch) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(ch)));
+                    os << buf;
+                } else {
+                    os << ch;
+                }
+        }
+    }
+    os << '"';
+}
+
+void write_json_number(std::ostream& os, double v) {
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    // Shortest round-trippable decimal; printf-style so the caller's
+    // stream precision/flags are irrelevant (and untouched).
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+namespace {
+
+void write_span(std::ostream& os, const SpanNode& node) {
+    os << "{\"name\":";
+    write_json_string(os, node.name);
+    os << ",\"wall_ms\":";
+    write_json_number(os, node.wall_ms);
+    os << ",\"count\":" << node.count;
+    if (!node.children.empty()) {
+        os << ",\"children\":[";
+        for (std::size_t i = 0; i < node.children.size(); ++i) {
+            if (i > 0) os << ',';
+            write_span(os, *node.children[i]);
+        }
+        os << ']';
+    }
+    os << '}';
+}
+
+}  // namespace
+
+void RunTrace::write_json(std::ostream& os) const {
+    os << "{\"schema\":\"nofis-metrics-v1\"";
+    os << ",\"spans\":";
+    write_span(os, root_);
+    {
+        std::lock_guard lock(mutex_);
+        os << ",\"counters\":{";
+        bool first = true;
+        for (const auto& [name, value] : counters_) {
+            if (!first) os << ',';
+            first = false;
+            write_json_string(os, name);
+            os << ':' << value;
+        }
+        os << "},\"metrics\":{";
+        first = true;
+        for (const auto& [name, value] : metrics_) {
+            if (!first) os << ',';
+            first = false;
+            write_json_string(os, name);
+            os << ':';
+            write_json_number(os, value);
+        }
+        os << '}';
+    }
+    os << '}';
+}
+
+std::string RunTrace::to_json() const {
+    std::ostringstream os;
+    write_json(os);
+    return os.str();
+}
+
+}  // namespace nofis::telemetry

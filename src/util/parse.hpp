@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace nofis::util {
+
+/// Strict numeric parsing for CLI flags. Unlike a bare strtoul/strtod with
+/// a null endptr — which silently turns "--repeats abc" into 0 — these
+/// reject anything that is not exactly one number:
+///   * empty input and leading whitespace,
+///   * a sign on unsigned values ("-3" wraps under strtoull; here it fails),
+///   * trailing garbage ("12x", "3.5GB"),
+///   * out-of-range magnitudes and non-finite doubles.
+/// They return std::nullopt instead of erroring out so callers choose the
+/// failure mode (the flag helpers in bench_common exit with a diagnostic).
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+std::optional<double> parse_double(std::string_view s);
+
+}  // namespace nofis::util

@@ -15,6 +15,7 @@
 #include "estimators/sus.hpp"
 #include "rng/normal.hpp"
 #include "testcases/registry.hpp"
+#include "util/parse.hpp"
 
 using namespace nofis;
 
@@ -24,7 +25,12 @@ int main(int argc, char** argv) {
         return 1;
     }
     const std::string name = argv[1];
-    const std::size_t n = std::strtoull(argv[2], nullptr, 10);
+    const auto parsed_n = util::parse_u64(argv[2]);
+    if (!parsed_n) {
+        std::fprintf(stderr, "error: invalid sample count '%s'\n", argv[2]);
+        return 2;
+    }
+    const std::size_t n = static_cast<std::size_t>(*parsed_n);
     const std::string mode = argc > 3 ? argv[3] : "mc";
 
     auto tc = testcases::make_case(name);

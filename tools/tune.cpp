@@ -6,28 +6,45 @@
 #include "core/nofis.hpp"
 #include "rng/normal.hpp"
 #include "testcases/registry.hpp"
+#include "util/parse.hpp"
 using namespace nofis;
+namespace {
+// Strict positional parsing: a typo'd number aborts instead of silently
+// becoming 0 (atof/atoll accept any garbage).
+double num_arg(int argc, char** argv, int i, double fallback) {
+    if (argc <= i) return fallback;
+    const auto v = util::parse_double(argv[i]);
+    if (!v) { fprintf(stderr, "invalid number '%s' (arg %d)\n", argv[i], i); exit(2); }
+    return *v;
+}
+size_t size_arg(int argc, char** argv, int i, size_t fallback) {
+    if (argc <= i) return fallback;
+    const auto v = util::parse_u64(argv[i]);
+    if (!v) { fprintf(stderr, "invalid count '%s' (arg %d)\n", argv[i], i); exit(2); }
+    return (size_t)*v;
+}
+}  // namespace
 int main(int argc, char** argv) {
     if (argc < 2) { fprintf(stderr, "need case name\n"); return 1; }
     auto tc = testcases::make_case(argv[1]);
     auto b = tc->nofis_budget();
     core::NofisConfig cfg;
-    cfg.learning_rate = argc > 2 ? atof(argv[2]) : b.learning_rate;
-    cfg.tau = argc > 3 ? atof(argv[3]) : b.tau;
-    cfg.grad_clip = argc > 4 ? atof(argv[4]) : 100.0;
-    cfg.n_is = argc > 5 ? (size_t)atoll(argv[5]) : b.n_is;
-    int reps = argc > 6 ? atoi(argv[6]) : 5;
-    cfg.epochs = argc > 7 ? (size_t)atoll(argv[7]) : b.epochs;
-    cfg.samples_per_epoch = argc > 8 ? (size_t)atoll(argv[8]) : b.samples_per_epoch;
-    cfg.scale_cap = argc > 9 ? atof(argv[9]) : 2.0;
-    size_t hid = argc > 10 ? (size_t)atoll(argv[10]) : 32;
+    cfg.learning_rate = num_arg(argc, argv, 2, b.learning_rate);
+    cfg.tau = num_arg(argc, argv, 3, b.tau);
+    cfg.grad_clip = num_arg(argc, argv, 4, 100.0);
+    cfg.n_is = size_arg(argc, argv, 5, b.n_is);
+    int reps = (int)size_arg(argc, argv, 6, 5);
+    cfg.epochs = size_arg(argc, argv, 7, b.epochs);
+    cfg.samples_per_epoch = size_arg(argc, argv, 8, b.samples_per_epoch);
+    cfg.scale_cap = num_arg(argc, argv, 9, 2.0);
+    size_t hid = size_arg(argc, argv, 10, 32);
     cfg.hidden = {hid, hid};
-    cfg.lr_decay = argc > 11 ? atof(argv[11]) : b.lr_decay;
+    cfg.lr_decay = num_arg(argc, argv, 11, b.lr_decay);
     if (const char* dw = getenv("DEFW")) cfg.defensive_weight = atof(dw);
     if (getenv("ADDITIVE")) cfg.coupling = flow::CouplingKind::kAdditive;
     if (const char* ds = getenv("DEFS")) cfg.defensive_sigma = atof(ds);
     std::vector<double> lv = b.levels;
-    if (argc > 12) { lv.clear(); for (int i = 12; i < argc; ++i) lv.push_back(atof(argv[i])); }
+    if (argc > 12) { lv.clear(); for (int i = 12; i < argc; ++i) lv.push_back(num_arg(argc, argv, i, 0)); }
     core::NofisEstimator est(cfg, core::LevelSchedule::manual(lv));
     double sum_err = 0, sum_ess = 0; size_t calls = 0;
     for (int r = 0; r < reps; ++r) {
