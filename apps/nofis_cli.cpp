@@ -18,6 +18,22 @@
 //   nofis_cli reuse --case Leaf --load leaf.nofisflow [--nis 5000] [--seed 2]
 //       Reload a trained proposal and draw a fresh importance-sampling
 //       estimate without retraining.
+//   nofis_cli info FILE.nofisflow
+//       Print a saved stack's metadata (dim, blocks, coupling kind,
+//       parameter count) without running anything.
+//   nofis_cli serve --models DIR [--port 0] [--max-batch-rows N]
+//            [--max-wait-us 200] [--max-queue 1024]
+//       Serve every .nofisflow in DIR over a loopback TCP socket speaking
+//       the line-delimited JSON protocol of DESIGN.md §10. Prints
+//       "nofis-serve: ready port=P" once listening; stops cleanly on a
+//       `shutdown` request or SIGINT/SIGTERM. Responses are bitwise
+//       identical regardless of batching, queue order or --threads.
+//   nofis_cli query --port P [--host 127.0.0.1] --op OP [--model NAME]
+//            [--seed S] [--n N] [--case NAME] [--x "0.1,0.2;..."]
+//            [--timeout-us T] [--id K] | --file requests.jsonl
+//       Issue one request (or pipeline every line of --file) against a
+//       running server and print the raw response line(s). Exits 0 when
+//       every response is ok, 1 otherwise.
 //
 // Every command accepts --threads N to size the parallel evaluation pool
 // (0 / absent = NOFIS_THREADS env or hardware concurrency). Output is
@@ -31,12 +47,18 @@
 // as a single JSON object. Telemetry never perturbs results: estimates are
 // bitwise identical with or without the flag.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
 #include "../bench/bench_common.hpp"
 #include "core/levels.hpp"
 #include "flow/serialize.hpp"
+#include "flow/stack_info.hpp"
+#include "serve/server.hpp"
+#include "serve/tcp_client.hpp"
 #include "testcases/fault_injector.hpp"
 
 namespace {
@@ -201,11 +223,167 @@ int cmd_reuse(int argc, char** argv) {
     return 0;
 }
 
+int cmd_info(int argc, char** argv) {
+    if (argc < 3 || argv[2][0] == '-') {
+        std::fprintf(stderr, "usage: nofis_cli info FILE.nofisflow\n");
+        return 2;
+    }
+    const std::string path = argv[2];
+    const auto info = flow::stack_info(path);
+    std::printf("file: %s\n", path.c_str());
+    std::printf("dim: %zu\n", info.dim);
+    std::printf("blocks: %zu (M)\n", info.num_blocks);
+    std::printf("layers_per_block: %zu (K)\n", info.layers_per_block);
+    std::printf("coupling: %s\n",
+                flow::coupling_kind_name(info.coupling).c_str());
+    std::printf("actnorm: %s\n", info.use_actnorm ? "on" : "off");
+    std::printf("hidden:");
+    for (std::size_t h : info.hidden) std::printf(" %zu", h);
+    std::printf("\n");
+    std::printf("scale_cap: %g\n", info.scale_cap);
+    std::printf("params: %zu tensors, %zu values\n", info.param_tensors,
+                info.param_values);
+    return 0;
+}
+
+std::atomic<bool> g_signal_stop{false};
+
+void on_signal(int) { g_signal_stop.store(true, std::memory_order_relaxed); }
+
+int cmd_serve(int argc, char** argv) {
+    serve::ServerConfig cfg;
+    cfg.model_dir = arg_value(argc, argv, "--models", ".");
+    const auto port = size_flag(argc, argv, "--port", "0");
+    if (port > 65535) {
+        std::fprintf(stderr, "error: invalid port %zu\n", port);
+        return 2;
+    }
+    cfg.port = static_cast<std::uint16_t>(port);
+    cfg.scheduler.max_batch_rows =
+        size_flag(argc, argv, "--max-batch-rows", "0");
+    cfg.scheduler.max_wait_us = u64_flag(argc, argv, "--max-wait-us", "200");
+    cfg.scheduler.max_queue = size_flag(argc, argv, "--max-queue", "1024");
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
+    serve::Server server(cfg);
+    std::printf("serving models from %s on %s:%u\n", cfg.model_dir.c_str(),
+                cfg.host.c_str(), static_cast<unsigned>(server.port()));
+    std::printf("nofis-serve: ready port=%u\n",
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    server.wait(&g_signal_stop);
+    server.shutdown();
+    std::printf("nofis-serve: stopped\n");
+    return 0;
+}
+
+std::vector<std::string> split_on(const std::string& s, char sep) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= s.size()) {
+        const std::size_t next = s.find(sep, pos);
+        if (next == std::string::npos) {
+            out.push_back(s.substr(pos));
+            break;
+        }
+        out.push_back(s.substr(pos, next - pos));
+        pos = next + 1;
+    }
+    return out;
+}
+
+/// "0.1,0.2;0.3,0.4" → 2x2 matrix (rows split on ';', cells on ',').
+linalg::Matrix parse_points(const std::string& text) {
+    const auto rows = split_on(text, ';');
+    if (rows.empty()) throw std::runtime_error("--x: no rows");
+    std::vector<std::vector<double>> parsed;
+    for (const auto& row : rows) {
+        std::vector<double> cells;
+        for (const auto& cell : split_csv(row)) {
+            const auto v = util::parse_double(cell);
+            if (!v)
+                throw std::runtime_error("--x: malformed number '" + cell +
+                                         "'");
+            cells.push_back(*v);
+        }
+        if (!parsed.empty() && cells.size() != parsed.front().size())
+            throw std::runtime_error("--x: ragged rows");
+        parsed.push_back(std::move(cells));
+    }
+    linalg::Matrix x(parsed.size(), parsed.front().size());
+    for (std::size_t r = 0; r < parsed.size(); ++r)
+        for (std::size_t c = 0; c < parsed[r].size(); ++c)
+            x(r, c) = parsed[r][c];
+    return x;
+}
+
+int cmd_query(int argc, char** argv) {
+    const std::string host = arg_value(argc, argv, "--host", "127.0.0.1");
+    const auto port = size_flag(argc, argv, "--port", "0");
+    if (port == 0 || port > 65535) {
+        std::fprintf(stderr, "error: query requires --port P\n");
+        return 2;
+    }
+    serve::TcpClient client(host, static_cast<std::uint16_t>(port));
+
+    const std::string file = arg_value(argc, argv, "--file", "");
+    std::vector<std::string> request_lines;
+    if (!file.empty()) {
+        std::ifstream is(file);
+        if (!is) {
+            std::fprintf(stderr, "error: cannot open '%s'\n", file.c_str());
+            return 2;
+        }
+        std::string line;
+        while (std::getline(is, line))
+            if (!line.empty()) request_lines.push_back(line);
+    } else {
+        serve::Request req;
+        const std::string op = arg_value(argc, argv, "--op", "ping");
+        bool known = false;
+        for (serve::Op candidate :
+             {serve::Op::kSample, serve::Op::kLogProb, serve::Op::kEstimate,
+              serve::Op::kInfo, serve::Op::kListModels, serve::Op::kReload,
+              serve::Op::kEvict, serve::Op::kPing, serve::Op::kShutdown}) {
+            if (serve::op_name(candidate) == op) {
+                req.op = candidate;
+                known = true;
+            }
+        }
+        if (!known) {
+            std::fprintf(stderr, "error: unknown --op '%s'\n", op.c_str());
+            return 2;
+        }
+        req.id = u64_flag(argc, argv, "--id", "1");
+        req.model = arg_value(argc, argv, "--model", "");
+        req.seed = u64_flag(argc, argv, "--seed", "0");
+        req.n = size_flag(argc, argv, "--n",
+                          arg_value(argc, argv, "--nis", "1000"));
+        req.case_name = arg_value(argc, argv, "--case", "");
+        req.timeout_us = u64_flag(argc, argv, "--timeout-us", "0");
+        const std::string points = arg_value(argc, argv, "--x", "");
+        if (!points.empty()) req.x = parse_points(points);
+        request_lines.push_back(req.encode());
+    }
+
+    const auto responses = client.pipeline_raw(request_lines);
+    bool all_ok = true;
+    for (const auto& line : responses) {
+        std::printf("%s\n", line.c_str());
+        const auto res = serve::Response::decode(line);
+        all_ok = all_ok && res.ok;
+    }
+    return all_ok ? 0 : 1;
+}
+
 void usage() {
-    std::fprintf(stderr,
-                 "usage: nofis_cli <list|estimate|levels|train|reuse> "
-                 "[options] [--threads N] [--metrics-out FILE.json]\n"
-                 "(see the header of apps/nofis_cli.cpp)\n");
+    std::fprintf(
+        stderr,
+        "usage: nofis_cli <list|estimate|levels|train|reuse|info|serve|query>"
+        " [options] [--threads N] [--metrics-out FILE.json]\n"
+        "(see the header of apps/nofis_cli.cpp)\n");
 }
 
 }  // namespace
@@ -225,9 +403,16 @@ int main(int argc, char** argv) {
         if (cmd == "levels") rc = cmd_levels(argc, argv);
         if (cmd == "train") rc = cmd_train(argc, argv);
         if (cmd == "reuse") rc = cmd_reuse(argc, argv);
+        if (cmd == "info") rc = cmd_info(argc, argv);
+        if (cmd == "serve") rc = cmd_serve(argc, argv);
+        if (cmd == "query") rc = cmd_query(argc, argv);
     } catch (const std::exception& e) {
+        // Uniform failure contract with the strict flag parsing: any
+        // diagnosed error (missing .nofisflow file, malformed model,
+        // unreachable server, ...) prints its message and exits 2 instead
+        // of escaping as an uncaught exception.
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        return 2;
     }
     if (rc < 0) {
         usage();

@@ -1,0 +1,155 @@
+// Throughput harness for the serving stack: drives a BatchScheduler to
+// saturation through the in-process serve::Client (no sockets, so the number
+// measured is the scheduler + flow math, not loopback TCP) and reports
+// requests/sec. With --metrics-out the figure lands in the telemetry record
+// as serve.throughput_rps alongside the scheduler's own batch counters.
+//
+//   ./bench/serve_bench --clients 8 --requests 500 --n 8 --max-batch-rows 0
+//       --threads 0 --metrics-out serve_metrics.json
+//
+// Each client issues `--requests` sample requests with a sliding window of
+// outstanding futures, so the scheduler always has work to coalesce without
+// overflowing its bounded queue.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "flow/serialize.hpp"
+#include "rng/engine.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/scheduler.hpp"
+
+namespace {
+
+using namespace nofis;
+
+/// Writes a freshly initialised stack into `dir` as "bench.nofisflow" when
+/// the user did not point --models at real trained proposals.
+void write_default_model(const std::string& dir, std::size_t dim) {
+    std::filesystem::create_directories(dir);
+    flow::StackConfig cfg;
+    cfg.dim = dim;
+    cfg.num_blocks = 4;
+    cfg.layers_per_block = 4;
+    cfg.hidden = {32, 32};
+    rng::Engine eng(2024);
+    flow::save_stack(flow::CouplingStack(cfg, eng), dir + "/bench.nofisflow");
+}
+
+struct ClientStats {
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+};
+
+ClientStats run_client(serve::BatchScheduler& scheduler, std::size_t requests,
+                       std::size_t rows, std::uint64_t seed_base,
+                       std::size_t window) {
+    serve::Client client(scheduler);
+    ClientStats stats;
+    std::vector<std::future<serve::Response>> outstanding;
+    outstanding.reserve(window);
+    const auto drain_one = [&] {
+        const serve::Response res = outstanding.front().get();
+        outstanding.erase(outstanding.begin());
+        if (res.ok)
+            ++stats.ok;
+        else
+            ++stats.failed;
+    };
+    for (std::size_t i = 0; i < requests; ++i) {
+        serve::Request req;
+        req.id = i + 1;
+        req.op = serve::Op::kSample;
+        req.model = "bench";
+        req.seed = seed_base + i;
+        req.n = rows;
+        outstanding.push_back(client.async(std::move(req)));
+        if (outstanding.size() >= window) drain_one();
+    }
+    while (!outstanding.empty()) drain_one();
+    return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace nofis;
+    using bench::size_flag;
+    using bench::u64_flag;
+
+    bench::MetricsSession metrics(argc, argv);
+    bench::apply_threads_flag(argc, argv);
+
+    const std::size_t clients = size_flag(argc, argv, "--clients", "8");
+    const std::size_t requests = size_flag(argc, argv, "--requests", "500");
+    const std::size_t rows = size_flag(argc, argv, "--n", "8");
+    const std::size_t window = size_flag(argc, argv, "--window", "64");
+    const std::size_t dim = size_flag(argc, argv, "--dim", "6");
+    const std::uint64_t seed = u64_flag(argc, argv, "--seed", "17");
+
+    std::string model_dir = bench::arg_value(argc, argv, "--models", "");
+    if (model_dir.empty()) {
+        model_dir = std::filesystem::temp_directory_path() /
+                    ("nofis_serve_bench_" + std::to_string(::getpid()));
+        write_default_model(model_dir, dim);
+    }
+
+    serve::SchedulerConfig cfg;
+    cfg.max_batch_rows = size_flag(argc, argv, "--max-batch-rows", "0");
+    cfg.max_wait_us = u64_flag(argc, argv, "--max-wait-us", "200");
+    cfg.max_queue = size_flag(argc, argv, "--max-queue", "4096");
+
+    serve::ModelRegistry registry(model_dir);
+    try {
+        registry.get("bench");  // load outside the timed region
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "serve_bench: cannot load model 'bench' from %s: %s\n",
+                     model_dir.c_str(), e.what());
+        return 1;
+    }
+    serve::BatchScheduler scheduler(registry, cfg);
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::future<ClientStats>> workers;
+    workers.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c)
+        workers.push_back(std::async(std::launch::async, [&, c] {
+            return run_client(scheduler, requests, rows,
+                              seed + 1'000'000 * (c + 1), window);
+        }));
+    ClientStats total;
+    for (auto& w : workers) {
+        const ClientStats s = w.get();
+        total.ok += s.ok;
+        total.failed += s.failed;
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    scheduler.stop();
+
+    const double issued = static_cast<double>(clients * requests);
+    const double rps = seconds > 0.0 ? issued / seconds : 0.0;
+    const double rows_per_sec = rps * static_cast<double>(rows);
+    std::printf(
+        "serve_bench: clients=%zu requests=%zu rows=%zu window=%zu "
+        "max_batch_rows=%zu threads=%zu\n",
+        clients, requests, rows, window, scheduler.config().max_batch_rows,
+        parallel::num_threads());
+    std::printf("serve_bench: ok=%zu failed=%zu wall=%.3fs\n", total.ok,
+                total.failed, seconds);
+    std::printf("serve_bench: throughput=%.0f req/s (%.0f rows/s)\n", rps,
+                rows_per_sec);
+
+    telemetry::metric("serve.throughput_rps", rps);
+    telemetry::metric("serve.throughput_rows_per_sec", rows_per_sec);
+    telemetry::metric("serve.bench_wall_seconds", seconds);
+    telemetry::count("serve.bench_requests_ok", total.ok);
+    if (!metrics.finish()) return 1;
+    return total.failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+#include "flow/stack_info.hpp"
+
+#include "flow/serialize.hpp"
+
+namespace nofis::flow {
+
+std::string coupling_kind_name(CouplingKind kind) {
+    return kind == CouplingKind::kAffine ? "affine" : "additive";
+}
+
+StackInfo stack_info(const CouplingStack& stack) {
+    const StackConfig& cfg = stack.config();
+    StackInfo info;
+    info.dim = cfg.dim;
+    info.num_blocks = cfg.num_blocks;
+    info.layers_per_block = cfg.layers_per_block;
+    info.coupling = cfg.coupling;
+    info.use_actnorm = cfg.use_actnorm;
+    info.hidden = cfg.hidden;
+    info.scale_cap = cfg.scale_cap;
+    for (const auto& p : stack.params()) {
+        ++info.param_tensors;
+        info.param_values += p.value().rows() * p.value().cols();
+    }
+    return info;
+}
+
+StackInfo stack_info(const std::string& path) {
+    return stack_info(load_stack(path));
+}
+
+}  // namespace nofis::flow

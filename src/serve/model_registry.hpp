@@ -1,0 +1,83 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "flow/coupling_stack.hpp"
+#include "flow/stack_info.hpp"
+#include "serve/protocol.hpp"
+
+namespace nofis::serve {
+
+/// One resident model: the loaded coupling stack plus its introspection
+/// record. Instances are immutable after construction and handed out as
+/// shared_ptr<const Model>, so a request batch keeps "its" model alive even
+/// if the registry reloads or evicts the name mid-flight — the registry
+/// swap is atomic from the reader's point of view.
+struct Model {
+    Model(std::string model_name, flow::CouplingStack loaded_stack)
+        : name(std::move(model_name)),
+          stack(std::move(loaded_stack)),
+          info(flow::stack_info(stack)) {}
+
+    std::string name;
+    flow::CouplingStack stack;
+    flow::StackInfo info;
+};
+
+/// Loads `.nofisflow` stacks by name from one model directory and shares
+/// them across requests.
+///
+/// Lifetime rules:
+///   * `get` loads `<dir>/<name>.nofisflow` on first use and returns the
+///     same shared instance afterwards; the stack is held const and never
+///     mutated while resident.
+///   * `reload` re-reads the file and swaps the registry entry; in-flight
+///     holders of the old shared_ptr finish on the old parameters.
+///   * `evict` drops the registry entry (again, holders are unaffected).
+///
+/// Names are path components, not paths: anything containing '/', '\\' or
+/// leading '.' is rejected before touching the filesystem.
+///
+/// Thread safety: all methods are safe to call concurrently; loading
+/// happens under the registry mutex so a name is read from disk exactly
+/// once even under a thundering herd.
+class ModelRegistry {
+public:
+    explicit ModelRegistry(std::string dir);
+
+    /// Resident model for `name`, loading it if necessary. Throws
+    /// ServeError(kUnknownModel) when the file does not exist and
+    /// std::runtime_error when it exists but is malformed.
+    std::shared_ptr<const Model> get(const std::string& name);
+
+    /// Forces a fresh load from disk and swaps it in.
+    std::shared_ptr<const Model> reload(const std::string& name);
+
+    /// Drops the resident entry; returns false when it was not resident.
+    bool evict(const std::string& name);
+
+    /// Names with a `.nofisflow` file in the model directory, sorted.
+    std::vector<std::string> available() const;
+
+    /// Currently resident names, sorted.
+    std::vector<std::string> resident() const;
+
+    const std::string& dir() const noexcept { return dir_; }
+
+    /// `<dir>/<name>.nofisflow` after validating `name`; throws
+    /// ServeError(kBadRequest) for names that escape the directory.
+    std::string path_for(const std::string& name) const;
+
+private:
+    std::shared_ptr<const Model> load_locked(const std::string& name);
+
+    std::string dir_;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<const Model>> models_;
+};
+
+}  // namespace nofis::serve

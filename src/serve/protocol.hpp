@@ -1,0 +1,172 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace nofis::serve {
+
+// ---------------------------------------------------------------------------
+// JSON value
+// ---------------------------------------------------------------------------
+
+/// Minimal JSON document model for the line-delimited wire protocol. Object
+/// members keep insertion order so an encoded response is byte-stable: the
+/// serving determinism guarantee ("bitwise-identical responses regardless of
+/// batching, queue order or thread count") is checked on the encoded bytes.
+///
+/// Numbers remember whether their lexeme was an unsigned integer, so 64-bit
+/// request seeds round-trip exactly instead of through a double.
+class Json {
+public:
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Json() = default;
+    static Json null() { return Json(); }
+    static Json boolean(bool b);
+    static Json number(double v);
+    static Json number_u64(std::uint64_t v);
+    static Json string(std::string s);
+    static Json array();
+    static Json object();
+
+    Type type() const noexcept { return type_; }
+    bool is_null() const noexcept { return type_ == Type::kNull; }
+    bool is_object() const noexcept { return type_ == Type::kObject; }
+    bool is_array() const noexcept { return type_ == Type::kArray; }
+    bool is_number() const noexcept { return type_ == Type::kNumber; }
+    bool is_string() const noexcept { return type_ == Type::kString; }
+    bool is_bool() const noexcept { return type_ == Type::kBool; }
+
+    bool as_bool() const;
+    double as_double() const;
+    /// Exact when the lexeme was a plain unsigned integer; otherwise the
+    /// double value converted (throws on negative / non-integral).
+    std::uint64_t as_u64() const;
+    const std::string& as_string() const;
+
+    // --- array ------------------------------------------------------------
+    std::size_t size() const noexcept { return items_.size(); }
+    const Json& at(std::size_t i) const { return items_.at(i); }
+    void push_back(Json v) { items_.push_back(std::move(v)); }
+
+    // --- object (insertion-ordered) ---------------------------------------
+    /// nullptr when the key is absent.
+    const Json* find(std::string_view key) const noexcept;
+    /// Appends (or overwrites) a member; returns *this for chaining.
+    Json& set(std::string_view key, Json v);
+
+    /// Compact single-line encoding. Doubles use "%.17g" so every distinct
+    /// double has one canonical spelling and values survive a round-trip.
+    std::string encode() const;
+    void encode_to(std::string& out) const;
+
+    /// Parses exactly one JSON document from `text` (leading/trailing
+    /// whitespace allowed). Throws std::runtime_error with a position
+    /// diagnostic on malformed input.
+    static Json parse(std::string_view text);
+
+private:
+    Type type_ = Type::kNull;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::uint64_t u64_ = 0;
+    bool is_u64_ = false;  ///< lexeme was an unsigned integer
+    std::string str_;
+    std::vector<Json> items_;
+    std::vector<std::pair<std::string, Json>> members_;
+};
+
+// ---------------------------------------------------------------------------
+// Requests / responses
+// ---------------------------------------------------------------------------
+
+/// Machine-readable failure category carried in every error response.
+/// Stable strings on the wire (see error_code_name).
+enum class ErrorCode {
+    kBadRequest,        ///< malformed JSON / missing or invalid field
+    kUnknownModel,      ///< registry has no such model on disk
+    kUnknownCase,       ///< estimate against an unregistered test case
+    kDimMismatch,       ///< request dimensionality != model/case dim
+    kQueueFull,         ///< scheduler backpressure: bounded queue at capacity
+    kDeadlineExceeded,  ///< request expired before its batch executed
+    kShuttingDown,      ///< server stopping; request not executed
+    kInternal,          ///< unexpected exception during execution
+};
+std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// Structured serving failure: an ErrorCode plus a human-readable message.
+/// Thrown inside the execution layers and converted into an error response
+/// at the protocol boundary.
+class ServeError : public std::runtime_error {
+public:
+    ServeError(ErrorCode code, const std::string& message)
+        : std::runtime_error(message), code_(code) {}
+    ErrorCode code() const noexcept { return code_; }
+
+private:
+    ErrorCode code_;
+};
+
+/// Operations a request can carry.
+enum class Op {
+    kSample,      ///< n fresh draws z ~ q_MK with exact log q
+    kLogProb,     ///< exact log q_MK at caller-supplied points
+    kEstimate,    ///< Eq. (2) importance estimate against a test case
+    kInfo,        ///< model metadata (flow::StackInfo)
+    kListModels,  ///< models on disk + which are resident
+    kReload,      ///< re-read a model from disk (atomic swap)
+    kEvict,       ///< drop a resident model
+    kPing,        ///< liveness / protocol check
+    kShutdown,    ///< ack, then stop the server
+};
+std::string_view op_name(Op op) noexcept;
+
+/// One decoded request line. `seed` is per-request: every stochastic op
+/// derives all randomness from it, which is what makes responses
+/// independent of batching and scheduling.
+struct Request {
+    std::uint64_t id = 0;   ///< caller-chosen correlation id, echoed back
+    Op op = Op::kPing;
+    std::string model;      ///< registry name (sample/log_prob/estimate/...)
+    std::uint64_t seed = 0; ///< RNG seed (sample/estimate)
+    std::size_t n = 0;      ///< rows to draw (sample) / N_IS (estimate)
+    linalg::Matrix x;       ///< query points, row-major (log_prob)
+    std::string case_name;  ///< test-case name (estimate)
+    std::uint64_t timeout_us = 0;  ///< 0 = no deadline
+
+    /// Decodes one wire line. Throws ServeError(kBadRequest) on anything
+    /// malformed, including unknown ops and wrong field types.
+    static Request decode(std::string_view line);
+    /// Encodes this request as one wire line (no trailing newline).
+    std::string encode() const;
+};
+
+/// One response line. Exactly one of `result` (ok) or `error_*` (not ok)
+/// is meaningful.
+struct Response {
+    std::uint64_t id = 0;
+    Op op = Op::kPing;
+    bool ok = false;
+    Json result;                             ///< op-specific payload
+    ErrorCode error_code = ErrorCode::kInternal;
+    std::string error_message;
+
+    static Response success(const Request& req, Json result);
+    static Response failure(const Request& req, ErrorCode code,
+                            std::string message);
+    static Response failure(const Request& req, const ServeError& err);
+
+    /// Encodes as one wire line (no trailing newline). Key order is fixed,
+    /// so equal responses are byte-equal.
+    std::string encode() const;
+    static Response decode(std::string_view line);
+};
+
+}  // namespace nofis::serve

@@ -1,0 +1,218 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+
+#include "telemetry/telemetry.hpp"
+
+namespace nofis::serve {
+
+namespace {
+
+void send_all(int fd, const std::string& data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n <= 0) throw std::runtime_error("send failed");
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+}  // namespace
+
+/// One accepted connection: a reader thread that decodes lines and submits
+/// them, and a writer thread that emits responses in request order. The fd
+/// stays allocated until server teardown (shutdown() only half-closes), so
+/// a racing teardown can never close a recycled descriptor.
+struct Server::Connection {
+    int fd = -1;
+    std::thread reader;
+    std::thread writer;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::future<Response>> pending;  ///< responses, request order
+    bool read_done = false;
+    bool broken = false;  ///< write side failed; drain without sending
+};
+
+Server::Server(ServerConfig cfg)
+    : cfg_(std::move(cfg)),
+      registry_(cfg_.model_dir),
+      scheduler_(registry_, cfg_.scheduler) {
+    scheduler_.set_shutdown_handler([this] { request_shutdown(); });
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("serve: socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg_.port);
+    if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1) {
+        ::close(listen_fd_);
+        throw std::runtime_error("serve: bad host '" + cfg_.host + "'");
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+        ::close(listen_fd_);
+        throw std::runtime_error("serve: cannot bind " + cfg_.host + ":" +
+                                 std::to_string(cfg_.port));
+    }
+    if (::listen(listen_fd_, 64) != 0) {
+        ::close(listen_fd_);
+        throw std::runtime_error("serve: listen() failed");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::accept_loop() {
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (stopped_.load(std::memory_order_relaxed)) return;
+            if (errno == EINTR) continue;
+            return;  // listener closed underneath us
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        telemetry::count("serve.connections");
+
+        const std::lock_guard<std::mutex> lock(conn_mutex_);
+        connections_.push_back(std::make_unique<Connection>());
+        Connection& conn = *connections_.back();
+        conn.fd = fd;
+        serve_connection(conn);
+    }
+}
+
+void Server::serve_connection(Connection& conn) {
+    conn.reader = std::thread([this, &conn] {
+        std::string buffer;
+        char chunk[4096];
+        for (;;) {
+            const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+            if (n <= 0) break;
+            buffer.append(chunk, static_cast<std::size_t>(n));
+            std::size_t start = 0;
+            for (;;) {
+                const std::size_t nl = buffer.find('\n', start);
+                if (nl == std::string::npos) break;
+                std::string_view line(buffer.data() + start, nl - start);
+                start = nl + 1;
+                if (line.empty()) continue;
+
+                std::future<Response> future;
+                try {
+                    future = scheduler_.submit(Request::decode(line));
+                } catch (const ServeError& e) {
+                    std::promise<Response> ready;
+                    ready.set_value(Response::failure(Request{}, e));
+                    future = ready.get_future();
+                }
+                {
+                    const std::lock_guard<std::mutex> lock(conn.mutex);
+                    conn.pending.push_back(std::move(future));
+                }
+                conn.cv.notify_all();
+            }
+            buffer.erase(0, start);
+        }
+        {
+            const std::lock_guard<std::mutex> lock(conn.mutex);
+            conn.read_done = true;
+        }
+        conn.cv.notify_all();
+    });
+
+    conn.writer = std::thread([&conn] {
+        for (;;) {
+            std::future<Response> next;
+            {
+                std::unique_lock<std::mutex> lock(conn.mutex);
+                conn.cv.wait(lock, [&] {
+                    return !conn.pending.empty() || conn.read_done;
+                });
+                if (conn.pending.empty()) return;  // read_done && drained
+                next = std::move(conn.pending.front());
+                conn.pending.pop_front();
+            }
+            // Futures always complete (the scheduler resolves or rejects
+            // every submission), so this never blocks past shutdown.
+            const Response res = next.get();
+            if (conn.broken) continue;
+            try {
+                send_all(conn.fd, res.encode() + "\n");
+            } catch (const std::exception&) {
+                conn.broken = true;  // keep draining so futures are consumed
+            }
+        }
+    });
+}
+
+void Server::wait(const std::atomic<bool>* stop_flag) {
+    std::unique_lock<std::mutex> lock(wait_mutex_);
+    while (!shutdown_requested_) {
+        if (stop_flag != nullptr && stop_flag->load(std::memory_order_relaxed))
+            break;
+        wait_cv_.wait_for(lock, std::chrono::milliseconds(100));
+    }
+}
+
+void Server::request_shutdown() {
+    {
+        const std::lock_guard<std::mutex> lock(wait_mutex_);
+        shutdown_requested_ = true;
+    }
+    wait_cv_.notify_all();
+}
+
+void Server::close_listener() {
+    if (listen_fd_ >= 0) {
+        ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept() on Linux
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+}
+
+void Server::shutdown() {
+    if (stopped_.exchange(true)) return;
+    request_shutdown();
+    close_listener();
+    if (accept_thread_.joinable()) accept_thread_.join();
+
+    // Drain + stop the scheduler first: every in-flight future resolves, so
+    // connection writers cannot block on get() below.
+    scheduler_.stop();
+
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& conn : connections_) {
+        ::shutdown(conn->fd, SHUT_RDWR);  // unblocks the reader's recv
+        if (conn->reader.joinable()) conn->reader.join();
+        if (conn->writer.joinable()) conn->writer.join();
+        ::close(conn->fd);
+        conn->fd = -1;
+    }
+    connections_.clear();
+}
+
+}  // namespace nofis::serve

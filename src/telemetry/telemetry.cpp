@@ -82,6 +82,14 @@ void set_active(RunTrace* trace) noexcept {
     detail::g_active.store(trace, std::memory_order_relaxed);
 }
 
+void adopt_span_tree() noexcept {
+    RunTrace* trace = active();
+    if (trace == nullptr || trace->owner_ == std::this_thread::get_id())
+        return;
+    trace->owner_ = std::this_thread::get_id();
+    trace->current_ = &trace->root_;
+}
+
 ScopedSpan::ScopedSpan(std::string_view name) {
     RunTrace* tr = active();
     if (tr == nullptr || tr->owner_ != std::this_thread::get_id()) return;

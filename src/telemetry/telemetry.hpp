@@ -74,6 +74,7 @@ public:
 private:
     friend class ScopedSpan;
     friend void set_active(RunTrace* trace) noexcept;
+    friend void adopt_span_tree() noexcept;
 
     SpanNode root_;
     SpanNode* current_ = &root_;     ///< innermost open span
@@ -100,6 +101,15 @@ inline RunTrace* active() noexcept {
 /// off). The calling thread becomes the span-tree owner. Not meant to be
 /// called while instrumented work is in flight.
 void set_active(RunTrace* trace) noexcept;
+
+/// Re-binds the active trace's span tree to the calling thread, which
+/// becomes the new owner; ScopedSpans on the previous owner silently no-op
+/// from here on. No-op when telemetry is off or the caller already owns
+/// the tree. May only be called while no span is open on the previous
+/// owner — the serving scheduler thread adopts the tree at loop start,
+/// while the main thread is parked waiting for shutdown, which satisfies
+/// that by construction.
+void adopt_span_tree() noexcept;
 
 /// RAII wall-clock span. Construction opens (or re-enters) the child scope
 /// `name` under the innermost open span of the active trace; destruction

@@ -1,0 +1,586 @@
+// Tests for the batched inference-serving subsystem (src/serve) and the
+// flow::stack_info introspection it is built on.
+//
+// The load-bearing case is ServeDeterminism.BitwiseAcrossBatchQueueAndThreads:
+// for a fixed per-request seed, sample / log_prob / estimate responses must
+// be byte-identical across micro-batch row budgets {1, 7, 64}, submission
+// orders, and thread counts {1, 8} — the serving extension of the repo's
+// training determinism contract (DESIGN.md §8.2, §10).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "flow/serialize.hpp"
+#include "flow/stack_info.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/engine.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+#include "serve/tcp_client.hpp"
+
+namespace {
+
+using namespace nofis;
+using serve::ErrorCode;
+using serve::Op;
+using serve::Request;
+using serve::Response;
+
+flow::StackConfig small_config(std::size_t dim) {
+    flow::StackConfig cfg;
+    cfg.dim = dim;
+    cfg.num_blocks = 2;
+    cfg.layers_per_block = 2;
+    cfg.hidden = {8};
+    return cfg;
+}
+
+flow::CouplingStack make_stack(std::size_t dim, std::uint64_t seed) {
+    rng::Engine eng(seed);
+    return flow::CouplingStack(small_config(dim), eng);
+}
+
+/// Restores the default pool size when a test tweaks --threads.
+struct PoolGuard {
+    ~PoolGuard() { parallel::set_num_threads(0); }
+};
+
+/// Temp model directory with two saved stacks: "toy3" (dim 3) and "toy2"
+/// (dim 2 — matches the Leaf test case for estimate requests).
+class ServeFixture : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = ::testing::TempDir() + "nofis_serve_" +
+               std::to_string(::getpid()) + "_" +
+               ::testing::UnitTest::GetInstance()->current_test_info()->name();
+        std::filesystem::create_directories(dir_);
+        flow::save_stack(make_stack(3, 101), dir_ + "/toy3.nofisflow");
+        flow::save_stack(make_stack(2, 202), dir_ + "/toy2.nofisflow");
+    }
+    void TearDown() override {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    std::string dir_;
+};
+
+// ---------------------------------------------------------------------------
+// flow::stack_info
+// ---------------------------------------------------------------------------
+
+TEST(StackInfo, MatchesConfigAndParameterTally) {
+    const auto stack = make_stack(3, 7);
+    const auto info = flow::stack_info(stack);
+    EXPECT_EQ(info.dim, 3u);
+    EXPECT_EQ(info.num_blocks, 2u);
+    EXPECT_EQ(info.layers_per_block, 2u);
+    EXPECT_EQ(info.coupling, flow::CouplingKind::kAffine);
+    EXPECT_FALSE(info.use_actnorm);
+    EXPECT_EQ(info.hidden, std::vector<std::size_t>{8});
+
+    std::size_t tensors = 0;
+    std::size_t values = 0;
+    for (const auto& p : stack.params()) {
+        ++tensors;
+        values += p.value().rows() * p.value().cols();
+    }
+    EXPECT_EQ(info.param_tensors, tensors);
+    EXPECT_EQ(info.param_values, values);
+    EXPECT_GT(info.param_values, 0u);
+    EXPECT_EQ(flow::coupling_kind_name(info.coupling), "affine");
+}
+
+TEST_F(ServeFixture, StackInfoFromFileMatchesInMemory) {
+    const auto from_file = flow::stack_info(dir_ + "/toy3.nofisflow");
+    const auto in_memory = flow::stack_info(make_stack(3, 101));
+    EXPECT_EQ(from_file.dim, in_memory.dim);
+    EXPECT_EQ(from_file.param_tensors, in_memory.param_tensors);
+    EXPECT_EQ(from_file.param_values, in_memory.param_values);
+}
+
+TEST(StackInfo, MissingFileThrows) {
+    EXPECT_THROW(flow::stack_info("/nonexistent/nope.nofisflow"),
+                 std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+TEST(ServeProtocol, JsonRoundTripsSeedsExactly) {
+    const std::uint64_t big = 0xfedcba9876543210ULL;
+    serve::Json doc = serve::Json::object();
+    doc.set("seed", serve::Json::number_u64(big));
+    doc.set("x", serve::Json::number(0.1));
+    const auto parsed = serve::Json::parse(doc.encode());
+    EXPECT_EQ(parsed.find("seed")->as_u64(), big);
+    EXPECT_EQ(parsed.find("x")->as_double(), 0.1);
+}
+
+TEST(ServeProtocol, RequestDecodeValidates) {
+    const auto req = Request::decode(
+        R"({"id":9,"op":"sample","model":"toy3","seed":42,"n":5})");
+    EXPECT_EQ(req.id, 9u);
+    EXPECT_EQ(req.op, Op::kSample);
+    EXPECT_EQ(req.model, "toy3");
+    EXPECT_EQ(req.seed, 42u);
+    EXPECT_EQ(req.n, 5u);
+
+    const auto expect_bad = [](const char* line) {
+        try {
+            Request::decode(line);
+            FAIL() << "expected ServeError for: " << line;
+        } catch (const serve::ServeError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+        }
+    };
+    expect_bad("not json");
+    expect_bad(R"({"op":"no_such_op"})");
+    expect_bad(R"({"op":"sample"})");                      // missing model
+    expect_bad(R"({"op":"sample","model":"m","n":0})");    // zero rows
+    expect_bad(R"({"op":"estimate","model":"m"})");        // missing case
+    expect_bad(R"({"op":"log_prob","model":"m","x":[[1],[1,2]]})");  // ragged
+}
+
+TEST(ServeProtocol, RequestEncodeDecodeRoundTrip) {
+    Request req;
+    req.id = 3;
+    req.op = Op::kLogProb;
+    req.model = "toy3";
+    req.x = linalg::Matrix(2, 3);
+    req.x(0, 0) = 0.25;
+    req.x(1, 2) = -1.5;
+    const auto back = Request::decode(req.encode());
+    EXPECT_EQ(back.op, Op::kLogProb);
+    EXPECT_EQ(back.x.rows(), 2u);
+    EXPECT_EQ(back.x.cols(), 3u);
+    EXPECT_EQ(back.x(0, 0), 0.25);
+    EXPECT_EQ(back.x(1, 2), -1.5);
+}
+
+// ---------------------------------------------------------------------------
+// ModelRegistry
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeFixture, RegistrySharesOneInstancePerName) {
+    serve::ModelRegistry registry(dir_);
+    const auto a = registry.get("toy3");
+    const auto b = registry.get("toy3");
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(a->info.dim, 3u);
+    EXPECT_EQ(registry.resident(), std::vector<std::string>{"toy3"});
+    const auto avail = registry.available();
+    EXPECT_EQ(avail, (std::vector<std::string>{"toy2", "toy3"}));
+}
+
+TEST_F(ServeFixture, RegistryRejectsUnknownAndTraversalNames) {
+    serve::ModelRegistry registry(dir_);
+    try {
+        registry.get("no_such_model");
+        FAIL() << "expected kUnknownModel";
+    } catch (const serve::ServeError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kUnknownModel);
+    }
+    for (const char* evil : {"../toy3", "a/b", "", ".hidden"}) {
+        try {
+            registry.get(evil);
+            FAIL() << "expected kBadRequest for '" << evil << "'";
+        } catch (const serve::ServeError& e) {
+            EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+        }
+    }
+}
+
+TEST_F(ServeFixture, RegistryReloadSwapsEvictDrops) {
+    serve::ModelRegistry registry(dir_);
+    const auto original = registry.get("toy3");
+    // Overwrite the file with a differently-initialised stack: get() keeps
+    // serving the resident instance until an explicit reload.
+    flow::save_stack(make_stack(3, 999), dir_ + "/toy3.nofisflow");
+    EXPECT_EQ(registry.get("toy3").get(), original.get());
+
+    const auto reloaded = registry.reload("toy3");
+    EXPECT_NE(reloaded.get(), original.get());
+    const auto before = flow::snapshot_params(original->stack);
+    const auto after = flow::snapshot_params(reloaded->stack);
+    ASSERT_EQ(before.size(), after.size());
+    bool any_differs = false;
+    for (std::size_t i = 0; i < before.size(); ++i)
+        for (std::size_t j = 0; j < before[i].flat().size(); ++j)
+            any_differs |= before[i].flat()[j] != after[i].flat()[j];
+    EXPECT_TRUE(any_differs);
+    // The old shared instance stays alive and intact for in-flight holders.
+    EXPECT_EQ(original->info.dim, 3u);
+
+    EXPECT_TRUE(registry.evict("toy3"));
+    EXPECT_FALSE(registry.evict("toy3"));
+    EXPECT_TRUE(registry.resident().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: determinism (the acceptance criterion)
+// ---------------------------------------------------------------------------
+
+std::vector<Request> determinism_workload() {
+    std::vector<Request> reqs;
+    std::uint64_t id = 1;
+    for (std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+        Request r;
+        r.id = id++;
+        r.op = Op::kSample;
+        r.model = "toy3";
+        r.seed = seed;
+        r.n = 1 + static_cast<std::size_t>(seed % 5);
+        reqs.push_back(std::move(r));
+    }
+    for (std::uint64_t seed : {55u, 66u}) {
+        Request r;
+        r.id = id++;
+        r.op = Op::kSample;
+        r.model = "toy2";
+        r.seed = seed;
+        r.n = 3;
+        reqs.push_back(std::move(r));
+    }
+    for (double shift : {0.0, 0.5, -1.25}) {
+        Request r;
+        r.id = id++;
+        r.op = Op::kLogProb;
+        r.model = "toy3";
+        r.x = linalg::Matrix(2, 3);
+        for (std::size_t c = 0; c < 3; ++c) {
+            r.x(0, c) = 0.3 * static_cast<double>(c) + shift;
+            r.x(1, c) = -0.2 + shift;
+        }
+        reqs.push_back(std::move(r));
+    }
+    for (std::uint64_t seed : {7u, 8u}) {
+        Request r;
+        r.id = id++;
+        r.op = Op::kEstimate;
+        r.model = "toy2";
+        r.case_name = "Leaf";
+        r.seed = seed;
+        r.n = 500;
+        reqs.push_back(std::move(r));
+    }
+    return reqs;
+}
+
+/// Runs the workload in `order` through a fresh scheduler and returns
+/// encoded responses keyed by request id. Pausing first guarantees the
+/// whole submission lands in the queue before any batch is assembled, so
+/// the row budget alone dictates the batching.
+std::map<std::uint64_t, std::string> run_workload(
+    const std::string& dir, std::size_t max_batch_rows, std::size_t threads,
+    const std::vector<std::size_t>& order) {
+    parallel::set_num_threads(threads);
+    serve::ModelRegistry registry(dir);
+    serve::SchedulerConfig cfg;
+    cfg.max_batch_rows = max_batch_rows;
+    cfg.max_wait_us = 50;
+    serve::BatchScheduler scheduler(registry, cfg);
+    serve::Client client(scheduler);
+
+    const auto reqs = determinism_workload();
+    scheduler.pause();
+    std::vector<std::future<Response>> futures(reqs.size());
+    for (const std::size_t i : order) futures[i] = client.async(reqs[i]);
+    scheduler.resume();
+
+    std::map<std::uint64_t, std::string> encoded;
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const Response res = futures[i].get();
+        EXPECT_TRUE(res.ok) << "id " << reqs[i].id << ": "
+                            << res.error_message;
+        encoded[reqs[i].id] = res.encode();
+    }
+    return encoded;
+}
+
+TEST_F(ServeFixture, DeterminismBitwiseAcrossBatchQueueAndThreads) {
+    const PoolGuard guard;
+    const std::size_t n = determinism_workload().size();
+    std::vector<std::size_t> natural(n);
+    for (std::size_t i = 0; i < n; ++i) natural[i] = i;
+    std::vector<std::size_t> reversed(natural.rbegin(), natural.rend());
+    std::vector<std::size_t> interleaved;
+    for (std::size_t i = 0; i < n; ++i)
+        interleaved.push_back(i % 2 == 0 ? i / 2 : n - 1 - i / 2);
+
+    const auto baseline = run_workload(dir_, 1, 1, natural);
+    ASSERT_EQ(baseline.size(), n);
+
+    for (const std::size_t batch_rows : {1u, 7u, 64u}) {
+        for (const std::size_t threads : {1u, 8u}) {
+            for (const auto* order : {&natural, &reversed, &interleaved}) {
+                const auto got =
+                    run_workload(dir_, batch_rows, threads, *order);
+                EXPECT_EQ(got, baseline)
+                    << "batch_rows=" << batch_rows << " threads=" << threads;
+            }
+        }
+    }
+}
+
+TEST_F(ServeFixture, BatchedSampleMatchesStandaloneStackSample) {
+    const PoolGuard guard;
+    serve::ModelRegistry registry(dir_);
+    serve::SchedulerConfig cfg;
+    cfg.max_batch_rows = 64;
+    serve::BatchScheduler scheduler(registry, cfg);
+    serve::Client client(scheduler);
+
+    // Reference: the exact draw CouplingStack::sample produces stand-alone.
+    const auto stack = flow::load_stack(dir_ + "/toy3.nofisflow");
+    rng::Engine eng(42);
+    const auto expected = stack.sample(eng, 4, stack.num_blocks());
+
+    Request req;
+    req.id = 1;
+    req.op = Op::kSample;
+    req.model = "toy3";
+    req.seed = 42;
+    req.n = 4;
+    const Response res = client.call(req);
+    ASSERT_TRUE(res.ok) << res.error_message;
+    const serve::Json* z = res.result.find("z");
+    const serve::Json* log_q = res.result.find("log_q");
+    ASSERT_NE(z, nullptr);
+    ASSERT_NE(log_q, nullptr);
+    ASSERT_EQ(z->size(), 4u);
+    for (std::size_t r = 0; r < 4; ++r) {
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(z->at(r).at(c).as_double(), expected.z(r, c));
+        EXPECT_EQ(log_q->at(r).as_double(), expected.log_q[r]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: backpressure, deadlines, structured errors, shutdown
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeFixture, BoundedQueueRejectsWithQueueFull) {
+    serve::ModelRegistry registry(dir_);
+    serve::SchedulerConfig cfg;
+    cfg.max_queue = 2;
+    serve::BatchScheduler scheduler(registry, cfg);
+    serve::Client client(scheduler);
+
+    scheduler.pause();
+    Request ping;
+    ping.op = Op::kPing;
+    ping.id = 1;
+    auto f1 = client.async(ping);
+    ping.id = 2;
+    auto f2 = client.async(ping);
+    ping.id = 3;
+    auto f3 = client.async(ping);  // over capacity: rejected immediately
+    const Response rejected = f3.get();
+    EXPECT_FALSE(rejected.ok);
+    EXPECT_EQ(rejected.error_code, ErrorCode::kQueueFull);
+    scheduler.resume();
+    EXPECT_TRUE(f1.get().ok);
+    EXPECT_TRUE(f2.get().ok);
+}
+
+TEST_F(ServeFixture, ExpiredDeadlineSurfacesStructuredError) {
+    serve::ModelRegistry registry(dir_);
+    serve::BatchScheduler scheduler(registry, serve::SchedulerConfig{});
+    serve::Client client(scheduler);
+
+    scheduler.pause();
+    Request req;
+    req.op = Op::kSample;
+    req.model = "toy3";
+    req.seed = 1;
+    req.n = 1;
+    req.id = 1;
+    req.timeout_us = 1000;  // 1 ms, guaranteed to expire while paused
+    auto expired = client.async(req);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    req.id = 2;
+    req.timeout_us = 60'000'000;  // 60 s, cannot expire
+    auto alive = client.async(req);
+    scheduler.resume();
+
+    const Response r1 = expired.get();
+    EXPECT_FALSE(r1.ok);
+    EXPECT_EQ(r1.error_code, ErrorCode::kDeadlineExceeded);
+    EXPECT_TRUE(alive.get().ok);
+}
+
+TEST_F(ServeFixture, PerRequestErrorsAreStructured) {
+    serve::ModelRegistry registry(dir_);
+    serve::BatchScheduler scheduler(registry, serve::SchedulerConfig{});
+    serve::Client client(scheduler);
+
+    Request req;
+    req.op = Op::kSample;
+    req.model = "ghost";
+    req.n = 1;
+    EXPECT_EQ(client.call(req).error_code, ErrorCode::kUnknownModel);
+
+    req = Request{};
+    req.op = Op::kLogProb;
+    req.model = "toy3";
+    req.x = linalg::Matrix(1, 2);  // model dim is 3
+    EXPECT_EQ(client.call(req).error_code, ErrorCode::kDimMismatch);
+
+    req = Request{};
+    req.op = Op::kEstimate;
+    req.model = "toy2";
+    req.case_name = "NoSuchCase";
+    req.n = 10;
+    EXPECT_EQ(client.call(req).error_code, ErrorCode::kUnknownCase);
+
+    req.case_name = "Cube";  // dim 6 != model dim 2
+    EXPECT_EQ(client.call(req).error_code, ErrorCode::kDimMismatch);
+}
+
+TEST_F(ServeFixture, StoppedSchedulerRejectsNewWork) {
+    serve::ModelRegistry registry(dir_);
+    serve::BatchScheduler scheduler(registry, serve::SchedulerConfig{});
+    serve::Client client(scheduler);
+    Request ping;
+    ping.op = Op::kPing;
+    EXPECT_TRUE(client.call(ping).ok);
+    scheduler.stop();
+    const Response res = client.call(ping);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.error_code, ErrorCode::kShuttingDown);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent serialization (TSan-covered satellite)
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeFixture, ServeRaceParallelLoadStackIsRaceFreeAndIdentical) {
+    const std::string path = dir_ + "/toy3.nofisflow";
+    constexpr std::size_t kThreads = 8;
+    std::vector<flow::ParamSnapshot> snapshots(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            snapshots[t] = flow::snapshot_params(flow::load_stack(path));
+        });
+    for (auto& th : threads) th.join();
+    for (std::size_t t = 1; t < kThreads; ++t) {
+        ASSERT_EQ(snapshots[t].size(), snapshots[0].size());
+        for (std::size_t i = 0; i < snapshots[0].size(); ++i) {
+            const auto a = snapshots[0][i].flat();
+            const auto b = snapshots[t][i].flat();
+            ASSERT_EQ(a.size(), b.size());
+            for (std::size_t j = 0; j < a.size(); ++j)
+                ASSERT_EQ(a[j], b[j]) << "thread " << t << " tensor " << i;
+        }
+    }
+}
+
+TEST_F(ServeFixture, ServeRaceSaveLoadRoundTripUnderActiveServer) {
+    serve::ModelRegistry registry(dir_);
+    serve::BatchScheduler scheduler(registry, serve::SchedulerConfig{});
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> clients;
+    for (std::size_t t = 0; t < 4; ++t)
+        clients.emplace_back([&, t] {
+            serve::Client client(scheduler);
+            std::uint64_t seed = 1000 * (t + 1);
+            while (!stop.load(std::memory_order_relaxed)) {
+                Request req;
+                req.op = Op::kSample;
+                req.model = "toy3";
+                req.seed = seed++;
+                req.n = 4;
+                const Response res = client.call(req);
+                ASSERT_TRUE(res.ok) << res.error_message;
+            }
+        });
+
+    // Save/load round-trips on a *different* file while the server batches
+    // sample traffic on the shared pool.
+    const auto original = make_stack(5, 314);
+    const auto expected = flow::snapshot_params(original);
+    const std::string path = dir_ + "/roundtrip.nofisflow";
+    for (int iter = 0; iter < 10; ++iter) {
+        flow::save_stack(original, path);
+        const auto loaded = flow::load_stack(path);
+        const auto got = flow::snapshot_params(loaded);
+        ASSERT_EQ(got.size(), expected.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            const auto a = expected[i].flat();
+            const auto b = got[i].flat();
+            for (std::size_t j = 0; j < a.size(); ++j)
+                ASSERT_EQ(a[j], b[j]);
+        }
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& th : clients) th.join();
+}
+
+// ---------------------------------------------------------------------------
+// TCP server / client
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeFixture, ServeTcpEndToEndPipelinedAndCleanShutdown) {
+    serve::ServerConfig cfg;
+    cfg.model_dir = dir_;
+    cfg.port = 0;  // ephemeral
+    serve::Server server(cfg);
+    ASSERT_GT(server.port(), 0);
+
+    serve::TcpClient client("127.0.0.1", server.port());
+    Request ping;
+    ping.op = Op::kPing;
+    ping.id = 7;
+    const Response pong = client.call(ping);
+    EXPECT_TRUE(pong.ok);
+    EXPECT_EQ(pong.id, 7u);
+
+    // Pipelined lines come back in order with matching ids.
+    std::vector<std::string> lines;
+    for (std::uint64_t id = 1; id <= 5; ++id) {
+        Request req;
+        req.id = id;
+        req.op = Op::kSample;
+        req.model = "toy3";
+        req.seed = id;
+        req.n = 2;
+        lines.push_back(req.encode());
+    }
+    const auto responses = client.pipeline_raw(lines);
+    ASSERT_EQ(responses.size(), 5u);
+    for (std::uint64_t id = 1; id <= 5; ++id) {
+        const Response res = Response::decode(responses[id - 1]);
+        EXPECT_TRUE(res.ok);
+        EXPECT_EQ(res.id, id);
+    }
+
+    // A malformed line yields a structured bad_request, not a dropped
+    // connection.
+    const Response bad = Response::decode(client.call_raw("this is not json"));
+    EXPECT_FALSE(bad.ok);
+    EXPECT_EQ(bad.error_code, ErrorCode::kBadRequest);
+
+    Request down;
+    down.op = Op::kShutdown;
+    const Response ack = client.call(down);
+    EXPECT_TRUE(ack.ok);
+    server.wait();  // returns because the shutdown op signalled it
+    server.shutdown();
+}
+
+}  // namespace
