@@ -40,6 +40,20 @@
 // bitwise identical for any thread count; the flag only changes wall-clock
 // time.
 //
+//   nofis_cli cache-info --cache-dir DIR
+//       Describe every evaluation log (*.evc) in DIR: case key, dim,
+//       record count, file/valid bytes, and whether a torn tail was
+//       detected. Read-only.
+//   nofis_cli cache-compact --cache-dir DIR
+//       Rewrite each evaluation log keeping the last record per input row
+//       and dropping any torn tail (atomic temp-file + rename).
+//
+// estimate, train and reuse additionally accept --cache-mem-mb N and
+// --cache-dir DIR to memoize g-evaluations (serve takes the same flags for
+// a cache shared across requests). The cache never changes results — output
+// is bitwise identical with it off, cold, or warm; only the
+// g_calls.fresh/g_calls.cached split in --metrics-out moves.
+//
 // Every command also accepts --metrics-out FILE.json: the run is executed
 // with the telemetry layer active and a machine-readable record (per-stage
 // and per-phase wall-clock spans, g-call / fault / rollback counters,
@@ -47,11 +61,14 @@
 // as a single JSON object. Telemetry never perturbs results: estimates are
 // bitwise identical with or without the flag.
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <optional>
 
 #include "../bench/bench_common.hpp"
 #include "core/levels.hpp"
@@ -85,22 +102,41 @@ int cmd_estimate(int argc, char** argv) {
     const auto repeats = size_flag(argc, argv, "--repeats", "3");
     const auto seed = u64_flag(argc, argv, "--seed", "1");
 
+    const auto cache = cache_from_flags(argc, argv);
     const auto tc = testcases::make_case(case_name);
-    const auto est = make_estimator(method, *tc);
+    const auto est = make_estimator(method, *tc, cache);
+    // NOFIS consults the cache through its config; the baselines evaluate
+    // through an external wrapper. Estimates (and this command's stdout)
+    // are bitwise identical with the cache off, cold, or warm — the
+    // fresh/cached split lands in --metrics-out only.
+    std::optional<evalcache::CachedProblem> cached;
+    const estimators::RareEventProblem* problem = tc.get();
+    if (cache && method != "NOFIS") {
+        cached.emplace(*tc, cache, testcases::cache_key(*tc));
+        problem = &*cached;
+    }
     std::printf("%s on %s (golden %.3e), %zu repeat(s)\n", method.c_str(),
                 case_name.c_str(), tc->golden_pr(), repeats);
     double mean_err = 0.0;
     for (std::size_t r = 0; r < repeats; ++r) {
         const telemetry::ScopedSpan repeat_span("repeat");
+        const std::size_t hits_before = cached ? cached->hits() : 0;
         rng::Engine eng(seed + 7919 * r);
-        const auto res = est->estimate(*tc, eng);
+        const auto res = est->estimate(*problem, eng);
         const double err = estimators::log_error(res.p_hat, tc->golden_pr());
         mean_err += err;
         // Non-NOFIS methods don't instrument their internals; record the
         // estimate-level numbers here so every method yields a usable
-        // metrics record. (NOFIS runs count their own calls/diagnostics.)
+        // metrics record. (NOFIS runs count their own calls/diagnostics
+        // and fresh-vs-cached split.)
         telemetry::count("estimate.runs");
-        if (method != "NOFIS") telemetry::count("calls", res.calls);
+        if (method != "NOFIS") {
+            telemetry::count("calls", res.calls);
+            evalcache::report_call_split(
+                res.calls,
+                cached ? std::min(cached->hits() - hits_before, res.calls)
+                       : std::size_t{0});
+        }
         telemetry::metric("p_hat", res.p_hat);
         std::printf("  run %zu: p = %.4e  calls = %zu  log-err = %.3f%s\n",
                     r, res.p_hat, res.calls, err,
@@ -160,6 +196,11 @@ int cmd_train(int argc, char** argv) {
     // Routed through the config (rather than only the global pool) so the
     // NofisConfig knob is exercised end-to-end.
     cfg.threads = size_flag(argc, argv, "--threads", "0");
+    // Optional memoization of g; under fault injection the guard sits above
+    // the cache, so only true (finite, successfully evaluated) values are
+    // ever stored — the namespace stays safe to share with clean runs.
+    cfg.cache = cache_from_flags(argc, argv);
+    cfg.cache_key = testcases::cache_key(case_name, tc->dim());
     core::NofisEstimator est(cfg,
                              core::LevelSchedule::manual(budget.levels));
 
@@ -203,11 +244,21 @@ int cmd_reuse(int argc, char** argv) {
                      stack.dim(), tc->dim());
         return 1;
     }
+    const auto cache = cache_from_flags(argc, argv);
+    std::optional<evalcache::CachedProblem> cached;
+    const estimators::RareEventProblem* problem = tc.get();
+    if (cache) {
+        cached.emplace(*tc, cache, testcases::cache_key(*tc));
+        problem = &*cached;
+    }
     rng::Engine eng(seed);
     core::IsDiagnostics diag;
     const auto res = core::NofisEstimator::importance_estimate(
-        stack, *tc, eng, nis, &diag);
+        stack, *problem, eng, nis, &diag);
     telemetry::count("calls", res.calls);
+    evalcache::report_call_split(
+        res.calls,
+        cached ? std::min(cached->hits(), res.calls) : std::size_t{0});
     telemetry::metric("p_hat", res.p_hat);
     telemetry::metric("ess_hits", diag.effective_sample_size);
     telemetry::metric("ess_all", diag.ess_all);
@@ -246,6 +297,63 @@ int cmd_info(int argc, char** argv) {
     return 0;
 }
 
+std::vector<std::filesystem::path> cache_logs_in(const std::string& dir) {
+    namespace fs = std::filesystem;
+    std::vector<fs::path> logs;
+    for (const auto& entry : fs::directory_iterator(dir))
+        if (entry.is_regular_file() && entry.path().extension() == ".evc")
+            logs.push_back(entry.path());
+    std::sort(logs.begin(), logs.end());
+    return logs;
+}
+
+int cmd_cache_info(int argc, char** argv) {
+    const std::string dir = arg_value(argc, argv, "--cache-dir", "");
+    if (dir.empty() || !std::filesystem::is_directory(dir)) {
+        std::fprintf(stderr, "usage: nofis_cli cache-info --cache-dir DIR\n");
+        return 2;
+    }
+    std::printf("%-20s %-5s %-9s %-11s %-11s %s\n", "case", "dim", "records",
+                "bytes", "valid", "tail");
+    for (const auto& path : cache_logs_in(dir)) {
+        const auto info = evalcache::DiskLog::inspect(path.string());
+        if (!info) {
+            std::printf("%-20s (not a NOFIS eval log)\n",
+                        path.filename().string().c_str());
+            continue;
+        }
+        std::printf("%-20s %-5zu %-9zu %-11llu %-11llu %s\n",
+                    info->case_key.c_str(), info->dim, info->records,
+                    static_cast<unsigned long long>(info->file_bytes),
+                    static_cast<unsigned long long>(info->valid_bytes),
+                    info->tail_truncated ? "TRUNCATED" : "clean");
+    }
+    return 0;
+}
+
+int cmd_cache_compact(int argc, char** argv) {
+    const std::string dir = arg_value(argc, argv, "--cache-dir", "");
+    if (dir.empty() || !std::filesystem::is_directory(dir)) {
+        std::fprintf(stderr,
+                     "usage: nofis_cli cache-compact --cache-dir DIR\n");
+        return 2;
+    }
+    for (const auto& path : cache_logs_in(dir)) {
+        try {
+            const auto r = evalcache::DiskLog::compact(path.string());
+            std::printf("%s: %zu -> %zu record(s), %llu -> %llu byte(s)\n",
+                        path.filename().string().c_str(), r.records_before,
+                        r.records_after,
+                        static_cast<unsigned long long>(r.bytes_before),
+                        static_cast<unsigned long long>(r.bytes_after));
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "%s: skipped (%s)\n",
+                         path.filename().string().c_str(), e.what());
+        }
+    }
+    return 0;
+}
+
 std::atomic<bool> g_signal_stop{false};
 
 void on_signal(int) { g_signal_stop.store(true, std::memory_order_relaxed); }
@@ -263,6 +371,8 @@ int cmd_serve(int argc, char** argv) {
         size_flag(argc, argv, "--max-batch-rows", "0");
     cfg.scheduler.max_wait_us = u64_flag(argc, argv, "--max-wait-us", "200");
     cfg.scheduler.max_queue = size_flag(argc, argv, "--max-queue", "1024");
+    cfg.scheduler.cache_mem_mb = size_flag(argc, argv, "--cache-mem-mb", "0");
+    cfg.scheduler.cache_dir = arg_value(argc, argv, "--cache-dir", "");
 
     std::signal(SIGINT, on_signal);
     std::signal(SIGTERM, on_signal);
@@ -381,7 +491,8 @@ int cmd_query(int argc, char** argv) {
 void usage() {
     std::fprintf(
         stderr,
-        "usage: nofis_cli <list|estimate|levels|train|reuse|info|serve|query>"
+        "usage: nofis_cli <list|estimate|levels|train|reuse|info|serve|query"
+        "|cache-info|cache-compact>"
         " [options] [--threads N] [--metrics-out FILE.json]\n"
         "(see the header of apps/nofis_cli.cpp)\n");
 }
@@ -406,6 +517,8 @@ int main(int argc, char** argv) {
         if (cmd == "info") rc = cmd_info(argc, argv);
         if (cmd == "serve") rc = cmd_serve(argc, argv);
         if (cmd == "query") rc = cmd_query(argc, argv);
+        if (cmd == "cache-info") rc = cmd_cache_info(argc, argv);
+        if (cmd == "cache-compact") rc = cmd_cache_compact(argc, argv);
     } catch (const std::exception& e) {
         // Uniform failure contract with the strict flag parsing: any
         // diagnosed error (missing .nofisflow file, malformed model,

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "core/nofis.hpp"
+#include "evalcache/cached_problem.hpp"
+#include "evalcache/eval_cache.hpp"
 #include "parallel/thread_pool.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/parse.hpp"
@@ -23,6 +25,7 @@
 #include "estimators/sss.hpp"
 #include "estimators/suc.hpp"
 #include "estimators/sus.hpp"
+#include "testcases/case_factory.hpp"
 #include "testcases/registry.hpp"
 
 namespace nofis::bench {
@@ -47,9 +50,13 @@ inline std::vector<std::string> all_method_names() {
     return {"MC", "SIR", "SUC", "SUS", "SSS", "Adapt-IS", "NOFIS"};
 }
 
-/// Builds the estimator for `method` sized by the case's budgets.
+/// Builds the estimator for `method` sized by the case's budgets. A non-null
+/// `cache` is wired into NOFIS's config (the estimator composes
+/// Guarded(Cached(g)) internally); the baselines take it at the call site —
+/// see run_cell — because their problem is wrapped externally.
 inline std::unique_ptr<estimators::Estimator> make_estimator(
-    const std::string& method, const testcases::TestCase& tc) {
+    const std::string& method, const testcases::TestCase& tc,
+    std::shared_ptr<evalcache::EvalCache> cache = nullptr) {
     const auto bb = tc.baseline_budget();
     if (method == "MC")
         return std::make_unique<estimators::MonteCarloEstimator>(
@@ -86,35 +93,65 @@ inline std::unique_ptr<estimators::Estimator> make_estimator(
     }
     if (method == "NOFIS") {
         const auto nb = tc.nofis_budget();
+        auto cfg = nofis_config_from_budget(nb);
+        if (cache) {
+            cfg.cache = std::move(cache);
+            cfg.cache_key = testcases::cache_key(tc);
+        }
         return std::make_unique<core::NofisEstimator>(
-            nofis_config_from_budget(nb),
-            core::LevelSchedule::manual(nb.levels));
+            std::move(cfg), core::LevelSchedule::manual(nb.levels));
     }
     throw std::invalid_argument("make_estimator: unknown method " + method);
 }
 
 struct CellResult {
     double mean_calls = 0.0;
+    /// Mean g-calls served from the evaluation cache (0 without a cache).
+    /// Fresh simulator work per run is mean_calls - mean_cached_calls.
+    double mean_cached_calls = 0.0;
     double mean_log_error = 0.0;
     std::size_t failures = 0;  ///< runs flagged failed ("—" when all fail)
     std::size_t repeats = 0;
 };
 
-/// Runs `repeats` independent estimates of `method` on `tc`.
+/// Runs `repeats` independent estimates of `method` on `tc`. A non-null
+/// `cache` memoizes g across the repeats (and across cells sharing the
+/// cache): NOFIS consults it through its config, the baselines through an
+/// external CachedProblem wrapper. Estimates are bitwise identical with the
+/// cache off, cold, or warm — only the fresh/cached split moves.
 inline CellResult run_cell(const std::string& method,
                            const testcases::TestCase& tc, std::size_t repeats,
-                           std::uint64_t seed) {
-    const auto est = make_estimator(method, tc);
+                           std::uint64_t seed,
+                           std::shared_ptr<evalcache::EvalCache> cache =
+                               nullptr) {
+    const auto est = make_estimator(method, tc, cache);
+    std::unique_ptr<evalcache::CachedProblem> cached;
+    const estimators::RareEventProblem* problem = &tc;
+    if (cache && method != "NOFIS") {
+        cached = std::make_unique<evalcache::CachedProblem>(
+            tc, cache, testcases::cache_key(tc));
+        problem = cached.get();
+    }
     CellResult cell;
     cell.repeats = repeats;
     for (std::size_t r = 0; r < repeats; ++r) {
+        const std::size_t hits_before = cached ? cached->hits() : 0;
         rng::Engine eng(seed + 7919 * r);
-        const auto res = est->estimate(tc, eng);
+        const auto res = est->estimate(*problem, eng);
+        // NOFIS accounts its own cached share (and telemetry split) inside
+        // run(); the wrapper's hit delta is the baselines' share.
+        const std::size_t run_cached =
+            cached ? std::min(cached->hits() - hits_before, res.calls)
+                   : res.cached_calls;
+        if (method != "NOFIS")
+            evalcache::report_call_split(res.calls, run_cached);
         if (res.failed) ++cell.failures;
         cell.mean_calls += static_cast<double>(res.calls);
+        cell.mean_cached_calls += static_cast<double>(run_cached);
         cell.mean_log_error += estimators::log_error(res.p_hat, tc.golden_pr());
     }
     cell.mean_calls /= static_cast<double>(repeats);
+    cell.mean_cached_calls /= static_cast<double>(repeats);
     cell.mean_log_error /= static_cast<double>(repeats);
     return cell;
 }
@@ -194,6 +231,22 @@ inline double double_flag(int argc, char** argv, const char* name,
 inline void apply_threads_flag(int argc, char** argv) {
     const auto threads = size_flag(argc, argv, "--threads", "0");
     if (threads > 0) parallel::set_num_threads(threads);
+}
+
+/// Builds the shared g-evaluation cache from `--cache-mem-mb N` (in-memory
+/// budget, MiB) and `--cache-dir DIR` (optional persistent tier). Returns
+/// null when neither flag is given — the zero-cost no-cache path. Like
+/// --threads and --metrics-out, the flags never change results: estimates
+/// are bitwise identical with the cache off, cold, or warm.
+inline std::shared_ptr<evalcache::EvalCache> cache_from_flags(int argc,
+                                                              char** argv) {
+    const auto mem_mb = size_flag(argc, argv, "--cache-mem-mb", "0");
+    const std::string dir = arg_value(argc, argv, "--cache-dir", "");
+    if (mem_mb == 0 && dir.empty()) return nullptr;
+    evalcache::CacheConfig cfg;
+    if (mem_mb > 0) cfg.mem_bytes = mem_mb << 20;
+    cfg.dir = dir;
+    return std::make_shared<evalcache::EvalCache>(cfg);
 }
 
 /// Run telemetry for a whole binary invocation: construct one of these

@@ -8,6 +8,7 @@
 
 #include "autodiff/ops.hpp"
 #include "dist/diag_gaussian.hpp"
+#include "evalcache/cached_problem.hpp"
 #include "flow/serialize.hpp"
 #include "nn/optimizer.hpp"
 #include "parallel/thread_pool.hpp"
@@ -45,10 +46,23 @@ NofisEstimator::RunResult NofisEstimator::run(
     const std::size_t d = problem.dim();
     const std::size_t num_stages = levels_.num_levels();
     if (cfg_.threads > 0) parallel::set_num_threads(cfg_.threads);
+    // Optional memoization tier: the cache sits closest to the expensive g,
+    // so the guard's retry probes consult it too and only raw simulator
+    // outputs are ever stored (Guarded(Cached(problem)) composition).
+    std::optional<evalcache::CachedProblem> cached;
+    if (cfg_.cache) {
+        const std::string key = cfg_.cache_key.empty()
+                                    ? "anon#d" + std::to_string(d)
+                                    : cfg_.cache_key;
+        cached.emplace(problem, cfg_.cache, key);
+    }
+    const estimators::RareEventProblem& eval_problem =
+        cached ? static_cast<const estimators::RareEventProblem&>(*cached)
+               : problem;
     // Every g / g_grad evaluation goes through the fault guard; faults are
     // resolved per cfg_.guard and tallied for RunHealth. A fault-free run
     // is bit-identical to the unguarded path.
-    estimators::GuardedProblem guarded(problem, cfg_.guard);
+    estimators::GuardedProblem guarded(eval_problem, cfg_.guard);
 
     flow::StackConfig scfg;
     scfg.dim = d;
@@ -298,6 +312,11 @@ NofisEstimator::RunResult NofisEstimator::run(
     // value evaluation under the paper's autograd accounting, so only the
     // value batches count.)
     est.calls += train_g_calls + guarded.report().retry_attempts;
+    // Every value arrival at the cache is one of the calls counted above,
+    // so the hit tally on this run's decorator instance IS the cached
+    // share of `calls` (min guards the invariant against future drift).
+    est.cached_calls =
+        cached ? std::min(cached->hits(), est.calls) : std::size_t{0};
 
     RunHealth health;
     health.faults = guarded.report();
@@ -317,6 +336,7 @@ NofisEstimator::RunResult NofisEstimator::run(
     // Fold the run's health ledger and proposal-quality numbers into the
     // active telemetry record (counters accumulate across repeated runs;
     // metrics hold the last run's values).
+    evalcache::report_call_split(est.calls, est.cached_calls);
     if (telemetry::RunTrace* tr = telemetry::active()) {
         tr->add_counter("calls", est.calls);
         tr->add_counter("g_retry_calls", health.g_retry_calls);

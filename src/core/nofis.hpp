@@ -6,6 +6,7 @@
 #include "core/levels.hpp"
 #include "estimators/guarded_problem.hpp"
 #include "estimators/problem.hpp"
+#include "evalcache/eval_cache.hpp"
 #include "flow/coupling_stack.hpp"
 #include "nn/optimizer.hpp"
 
@@ -72,6 +73,20 @@ struct NofisConfig {
     /// Direction-preserving global-norm clipping by default; kPerValue
     /// reproduces earlier per-component clamping benches.
     nn::GradClipMode grad_clip_mode = nn::GradClipMode::kGlobalNorm;
+
+    // --- evaluation cache (DESIGN.md, "Evaluation cache").
+    /// Optional shared two-tier g-evaluation cache. When set, every value
+    /// evaluation the estimator makes consults the cache first — the
+    /// composition is Guarded(Cached(problem)), so fault-retry probes also
+    /// hit the cache and only raw simulator outputs are ever stored.
+    /// Results are bitwise identical with the cache off, cold, or warm
+    /// (g is pure); only the fresh-call count changes. `calls` still
+    /// reports total arrivals; EstimateResult::cached_calls says how many
+    /// of them the cache served.
+    std::shared_ptr<evalcache::EvalCache> cache;
+    /// Cache namespace for this problem (use testcases::cache_key for
+    /// registry cases). Empty derives "anon#d<dim>" at run time.
+    std::string cache_key;
 
     // --- parallel runtime (DESIGN.md, "Parallel runtime & determinism").
     /// Worker lanes for batched g / g_grad evaluation and the tiled matmul.

@@ -115,7 +115,12 @@ private:
 /// Result of one estimator run.
 struct EstimateResult {
     double p_hat = 0.0;       ///< estimated failure probability
-    std::size_t calls = 0;    ///< g-evaluations actually spent
+    std::size_t calls = 0;    ///< g-evaluations arriving at the problem
+    /// Of `calls`, how many were served from an evaluation cache instead of
+    /// running the simulator (0 when no cache is wired in). Fresh simulator
+    /// work is therefore `calls - cached_calls`; totals stay comparable
+    /// with and without a cache.
+    std::size_t cached_calls = 0;
     bool failed = false;      ///< algorithm collapse ("—" entries in Table 1)
     std::string detail;       ///< optional human-readable diagnostics
 };

@@ -1,0 +1,71 @@
+#include "evalcache/cached_problem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/telemetry.hpp"
+
+namespace nofis::evalcache {
+
+CachedProblem::CachedProblem(const estimators::RareEventProblem& inner,
+                             std::shared_ptr<EvalCache> cache,
+                             const std::string& case_key)
+    : inner_(&inner),
+      cache_(std::move(cache)),
+      ns_(cache_->open_namespace(case_key, inner.dim())) {}
+
+double CachedProblem::g_indexed(std::size_t index,
+                                std::span<const double> x) const {
+    double value = 0.0;
+    if (cache_->lookup(ns_, x, value)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return value;
+    }
+    // Count the miss before evaluating: a throwing evaluation was still an
+    // arrival, and it must propagate without storing anything.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    value = inner_->g_indexed(index, x);
+    cache_->insert(ns_, x, value);  // drops non-finite values
+    return value;
+}
+
+double CachedProblem::g(std::span<const double> x) const {
+    double value = 0.0;
+    if (cache_->lookup(ns_, x, value)) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return value;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    value = inner_->g(x);  // un-indexed path: let a stateful inner self-index
+    cache_->insert(ns_, x, value);
+    return value;
+}
+
+double CachedProblem::g_grad_indexed(std::size_t index,
+                                     std::span<const double> x,
+                                     std::span<double> grad_out) const {
+    // A gradient cannot be served from the value cache, so the call passes
+    // through (always fresh, not counted in hits/misses); the value it
+    // returns is stored so later value lookups at this row hit.
+    const double value = inner_->g_grad_indexed(index, x, grad_out);
+    cache_->insert(ns_, x, value);
+    return value;
+}
+
+double CachedProblem::g_grad(std::span<const double> x,
+                             std::span<double> grad_out) const {
+    const double value = inner_->g_grad(x, grad_out);
+    cache_->insert(ns_, x, value);
+    return value;
+}
+
+void report_call_split(std::size_t total_calls, std::size_t cached_calls) {
+    if (telemetry::RunTrace* tr = telemetry::active()) {
+        const std::size_t cached = std::min(cached_calls, total_calls);
+        tr->add_counter("g_calls.total", total_calls);
+        tr->add_counter("g_calls.cached", cached);
+        tr->add_counter("g_calls.fresh", total_calls - cached);
+    }
+}
+
+}  // namespace nofis::evalcache

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "estimators/problem.hpp"
+#include "evalcache/eval_cache.hpp"
+
+namespace nofis::evalcache {
+
+/// Memoizing decorator around any RareEventProblem, backed by a (shared)
+/// EvalCache. Composes with GuardedProblem / CountedProblem in either
+/// order:
+///
+///   * Guarded(Cached(problem)) — the estimator's nominal wiring: the cache
+///     sits closest to the expensive g, so retry probes also consult it,
+///     and only raw simulator outputs are ever stored.
+///   * Cached(Guarded(problem)) — caller-side wiring for the baselines: the
+///     guard resolves faults first and the cache stores the final value.
+///
+/// Poisoning rules (the satellite invariant): an evaluation that throws
+/// propagates without storing anything, and a non-finite value is returned
+/// but never inserted — EvalCache::insert drops it too, as a second line of
+/// defence. Under retry-perturb, only the final successful (x, g(x)) pair
+/// lands in the cache (keyed by the perturbed row the retry evaluated).
+///
+/// Accounting: hits()/misses() count value lookups on THIS decorator
+/// instance — the honest fresh-vs-cached split for one run, even when the
+/// underlying EvalCache is shared across concurrent runs. Gradient calls
+/// pass through uncounted (a gradient cannot be served from a value cache,
+/// so it is always fresh work), but their returned value is inserted
+/// opportunistically so later value lookups at the same row hit.
+///
+/// Determinism: g is a pure function of its input row and values round-trip
+/// bit-for-bit, so results are bitwise identical with the cache off, cold,
+/// warm, or shared across thread counts — only the fresh-call count
+/// changes.
+class CachedProblem final : public estimators::RareEventProblem {
+public:
+    /// `case_key` names the cache namespace (use testcases::cache_key for
+    /// registry cases). Throws when the key was opened with another dim.
+    CachedProblem(const estimators::RareEventProblem& inner,
+                  std::shared_ptr<EvalCache> cache, const std::string& case_key);
+
+    std::size_t dim() const noexcept override { return inner_->dim(); }
+    double fd_step() const noexcept override { return inner_->fd_step(); }
+
+    double g(std::span<const double> x) const override;
+    double g_grad(std::span<const double> x,
+                  std::span<double> grad_out) const override;
+    double g_indexed(std::size_t index,
+                     std::span<const double> x) const override;
+    double g_grad_indexed(std::size_t index, std::span<const double> x,
+                          std::span<double> grad_out) const override;
+
+    /// Value lookups served from the cache / evaluated fresh, on this
+    /// decorator instance.
+    std::size_t hits() const noexcept {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    std::size_t misses() const noexcept {
+        return misses_.load(std::memory_order_relaxed);
+    }
+
+    const std::shared_ptr<EvalCache>& cache() const noexcept {
+        return cache_;
+    }
+    const estimators::RareEventProblem& inner() const noexcept {
+        return *inner_;
+    }
+
+private:
+    const estimators::RareEventProblem* inner_;
+    std::shared_ptr<EvalCache> cache_;
+    EvalCache::Namespace ns_;
+    mutable std::atomic<std::size_t> hits_{0};
+    mutable std::atomic<std::size_t> misses_{0};
+};
+
+/// Adds the honest g-call split to the active telemetry trace:
+/// g_calls.total / g_calls.cached / g_calls.fresh, with
+/// fresh + cached == total by construction. Every site that reports a
+/// call total goes through here so the invariant holds record-wide.
+void report_call_split(std::size_t total_calls, std::size_t cached_calls);
+
+}  // namespace nofis::evalcache
+
+namespace nofis::estimators {
+/// The decorator composes with GuardedProblem/CountedProblem, so it is
+/// aliased into the estimators vocabulary alongside them.
+using CachedProblem = evalcache::CachedProblem;
+}  // namespace nofis::estimators

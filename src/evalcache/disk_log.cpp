@@ -1,0 +1,286 @@
+#include "evalcache/disk_log.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <stdexcept>
+
+namespace nofis::evalcache {
+
+namespace {
+
+constexpr char kMagic[8] = {'N', 'O', 'F', 'I', 'S', 'E', 'V', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+struct RawHeader {
+    char magic[8];
+    std::uint32_t version;
+    std::uint32_t reserved;
+    std::uint64_t dim;
+    std::uint32_t key_len;
+};
+
+template <typename T>
+bool read_pod(std::istream& is, T& out) {
+    is.read(reinterpret_cast<char*>(&out), sizeof(T));
+    return is.gcount() == static_cast<std::streamsize>(sizeof(T));
+}
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+/// Reads the header; returns the (case_key, dim, payload-start offset) or
+/// nullopt when the file does not start with a valid header.
+struct ParsedHeader {
+    std::string case_key;
+    std::size_t dim;
+    std::uint64_t body_begin;
+};
+
+std::optional<ParsedHeader> parse_header(std::istream& is) {
+    RawHeader h{};
+    is.seekg(0);
+    if (!read_pod(is, h)) return std::nullopt;
+    if (std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) return std::nullopt;
+    if (h.version != kVersion) return std::nullopt;
+    if (h.key_len == 0 || h.key_len > 4096) return std::nullopt;
+    std::string key(h.key_len, '\0');
+    is.read(key.data(), h.key_len);
+    if (is.gcount() != static_cast<std::streamsize>(h.key_len))
+        return std::nullopt;
+    return ParsedHeader{std::move(key), static_cast<std::size_t>(h.dim),
+                        sizeof(RawHeader) + h.key_len};
+}
+
+/// Scans records from `begin`; calls fn(payload_offset, payload) for each
+/// intact record and returns the offset just past the last one.
+std::uint64_t scan_records(
+    std::istream& is, std::uint64_t begin, std::size_t dim,
+    std::uint64_t file_size, bool& tail_truncated,
+    const std::function<void(std::uint64_t, const std::vector<char>&)>& fn) {
+    const std::size_t payload_len = dim * 8 + 8;
+    std::vector<char> payload(payload_len);
+    std::uint64_t pos = begin;
+    tail_truncated = false;
+    is.clear();
+    while (pos + 4 + payload_len + 8 <= file_size) {
+        is.seekg(static_cast<std::streamoff>(pos));
+        std::uint32_t len = 0;
+        std::uint64_t checksum = 0;
+        if (!read_pod(is, len) || len != payload_len) break;
+        is.read(payload.data(), static_cast<std::streamsize>(payload_len));
+        if (is.gcount() != static_cast<std::streamsize>(payload_len)) break;
+        if (!read_pod(is, checksum)) break;
+        if (checksum != fnv1a64(payload.data(), payload_len)) break;
+        fn(pos + 4, payload);
+        pos += 4 + payload_len + 8;
+    }
+    if (pos < file_size) tail_truncated = true;
+    is.clear();
+    return pos;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t n) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+DiskLog::DiskLog(std::string path, std::string case_key, std::size_t dim)
+    : path_(std::move(path)), case_key_(std::move(case_key)), dim_(dim) {
+    if (dim_ == 0) throw std::runtime_error("DiskLog: dim must be positive");
+    open_and_recover();
+}
+
+void DiskLog::write_header() {
+    RawHeader h{};
+    std::memcpy(h.magic, kMagic, sizeof(kMagic));
+    h.version = kVersion;
+    h.reserved = 0;
+    h.dim = dim_;
+    h.key_len = static_cast<std::uint32_t>(case_key_.size());
+    write_pod(file_, h);
+    file_.write(case_key_.data(),
+                static_cast<std::streamsize>(case_key_.size()));
+    file_.flush();
+    end_ = sizeof(RawHeader) + case_key_.size();
+}
+
+void DiskLog::open_and_recover() {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    const bool exists = fs::exists(path_, ec) && fs::file_size(path_, ec) > 0;
+
+    if (!exists) {
+        file_.open(path_, std::ios::out | std::ios::binary | std::ios::trunc);
+        if (!file_)
+            throw std::runtime_error("DiskLog: cannot create '" + path_ + "'");
+        write_header();
+        file_.close();
+    } else {
+        std::ifstream is(path_, std::ios::binary);
+        if (!is)
+            throw std::runtime_error("DiskLog: cannot open '" + path_ + "'");
+        const auto header = parse_header(is);
+        if (!header)
+            throw std::runtime_error("DiskLog: '" + path_ +
+                                     "' is not a NOFIS eval log");
+        if (header->dim != dim_ || header->case_key != case_key_)
+            throw std::runtime_error(
+                "DiskLog: '" + path_ + "' belongs to '" + header->case_key +
+                "' (dim " + std::to_string(header->dim) +
+                "), expected '" + case_key_ + "' (dim " +
+                std::to_string(dim_) + ")");
+        const std::uint64_t file_size = fs::file_size(path_);
+        records_ = 0;
+        end_ = scan_records(is, header->body_begin, dim_, file_size,
+                            tail_truncated_,
+                            [&](std::uint64_t, const std::vector<char>&) {
+                                ++records_;
+                            });
+        is.close();
+        // Drop the torn tail on disk so every later reader (and the append
+        // position below) sees only intact records.
+        if (end_ < file_size) fs::resize_file(path_, end_, ec);
+    }
+
+    file_.open(path_, std::ios::in | std::ios::out | std::ios::binary);
+    if (!file_)
+        throw std::runtime_error("DiskLog: cannot reopen '" + path_ + "'");
+    file_.seekp(static_cast<std::streamoff>(end_));
+}
+
+void DiskLog::scan(const std::function<void(std::uint64_t,
+                                            std::span<const double>, double)>&
+                       fn) {
+    std::vector<double> x(dim_);
+    bool torn = false;
+    scan_records(
+        file_, sizeof(RawHeader) + case_key_.size(), dim_, end_, torn,
+        [&](std::uint64_t payload_offset, const std::vector<char>& payload) {
+            std::memcpy(x.data(), payload.data(), dim_ * 8);
+            double v = 0.0;
+            std::memcpy(&v, payload.data() + dim_ * 8, 8);
+            fn(payload_offset, x, v);
+        });
+}
+
+std::uint64_t DiskLog::append(std::span<const double> x, double value) {
+    if (x.size() != dim_)
+        throw std::invalid_argument("DiskLog::append: dimension mismatch");
+    std::vector<char> payload(payload_bytes());
+    std::memcpy(payload.data(), x.data(), dim_ * 8);
+    std::memcpy(payload.data() + dim_ * 8, &value, 8);
+    const std::uint64_t payload_offset = end_ + 4;
+
+    file_.clear();
+    file_.seekp(static_cast<std::streamoff>(end_));
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    write_pod(file_, len);
+    file_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    write_pod(file_, fnv1a64(payload.data(), payload.size()));
+    file_.flush();
+    if (!file_)
+        throw std::runtime_error("DiskLog: append to '" + path_ + "' failed");
+    end_ += record_bytes();
+    ++records_;
+    return payload_offset;
+}
+
+bool DiskLog::read_at(std::uint64_t offset, std::span<double> x_out,
+                      double& value) {
+    if (x_out.size() != dim_ || offset + payload_bytes() + 8 > end_)
+        return false;
+    std::vector<char> payload(payload_bytes());
+    file_.clear();
+    file_.seekg(static_cast<std::streamoff>(offset));
+    file_.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (file_.gcount() != static_cast<std::streamsize>(payload.size()))
+        return false;
+    std::uint64_t checksum = 0;
+    if (!read_pod(file_, checksum)) return false;
+    if (checksum != fnv1a64(payload.data(), payload.size())) return false;
+    std::memcpy(x_out.data(), payload.data(), dim_ * 8);
+    std::memcpy(&value, payload.data() + dim_ * 8, 8);
+    return true;
+}
+
+std::optional<LogInfo> DiskLog::inspect(const std::string& path) {
+    namespace fs = std::filesystem;
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return std::nullopt;
+    const auto header = parse_header(is);
+    if (!header) return std::nullopt;
+    LogInfo info;
+    info.path = path;
+    info.case_key = header->case_key;
+    info.dim = header->dim;
+    std::error_code ec;
+    info.file_bytes = fs::file_size(path, ec);
+    info.valid_bytes = scan_records(
+        is, header->body_begin, header->dim, info.file_bytes,
+        info.tail_truncated,
+        [&](std::uint64_t, const std::vector<char>&) { ++info.records; });
+    return info;
+}
+
+CompactResult DiskLog::compact(const std::string& path) {
+    namespace fs = std::filesystem;
+    const auto info = inspect(path);
+    if (!info)
+        throw std::runtime_error("compact: '" + path +
+                                 "' is not a NOFIS eval log");
+    CompactResult result;
+    result.records_before = info->records;
+    result.bytes_before = info->file_bytes;
+
+    // Last write wins per exact input row; insertion order of the survivors
+    // follows their final write so a rewritten log replays identically.
+    std::ifstream is(path, std::ios::binary);
+    const auto header = parse_header(is);
+    std::map<std::vector<char>, std::pair<std::size_t, double>> latest;
+    std::size_t order = 0;
+    bool torn = false;
+    scan_records(is, header->body_begin, header->dim, info->valid_bytes, torn,
+                 [&](std::uint64_t, const std::vector<char>& payload) {
+                     std::vector<char> key(payload.begin(),
+                                           payload.end() - 8);
+                     double v = 0.0;
+                     std::memcpy(&v, payload.data() + header->dim * 8, 8);
+                     latest[std::move(key)] = {order++, v};
+                 });
+    is.close();
+
+    std::vector<std::pair<std::size_t, const std::vector<char>*>> by_order;
+    by_order.reserve(latest.size());
+    for (const auto& [key, ov] : latest) by_order.push_back({ov.first, &key});
+    std::sort(by_order.begin(), by_order.end());
+
+    const std::string tmp = path + ".compact.tmp";
+    std::error_code ec;
+    fs::remove(tmp, ec);  // stale temp from an interrupted compaction
+    {
+        DiskLog out(tmp, header->case_key, header->dim);
+        std::vector<double> x(header->dim);
+        for (const auto& [ord, key] : by_order) {
+            (void)ord;
+            std::memcpy(x.data(), key->data(), header->dim * 8);
+            out.append(x, latest.at(*key).second);
+        }
+        result.records_after = out.records();
+        result.bytes_after = out.valid_bytes();
+    }
+    fs::rename(tmp, path);
+    return result;
+}
+
+}  // namespace nofis::evalcache

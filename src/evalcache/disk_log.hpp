@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nofis::evalcache {
+
+/// On-disk format of one g-evaluation log (tier 2 of the cache):
+///
+///   header:  magic "NOFISEVC" | u32 version | u32 reserved
+///            u64 dim | u32 key_len | key bytes
+///   record:  u32 payload_len (= dim*8 + 8)
+///            payload = dim input doubles, raw bits | g value, raw bits
+///            u64 FNV-1a checksum of the payload
+///
+/// Records are append-only and each carries its own length and checksum, so
+/// a crash mid-append can corrupt at most the unfinished tail: open() scans
+/// forward, keeps every record that passes its length and checksum, and
+/// truncates the file at the first torn or corrupt one. Values round-trip
+/// as raw 8-byte patterns, so a cached g is returned bit-for-bit.
+///
+/// The log stores byte order of the machine that wrote it (cache files are
+/// a local acceleration, not an interchange format); the header is enough
+/// for `nofis_cli cache-info` to describe a file standalone.
+
+/// FNV-1a over `n` bytes; the per-record checksum.
+std::uint64_t fnv1a64(const void* data, std::size_t n) noexcept;
+
+/// Parsed header plus scan results of one log file.
+struct LogInfo {
+    std::string path;
+    std::string case_key;       ///< cache namespace ("<case>#d<dim>")
+    std::size_t dim = 0;
+    std::size_t records = 0;    ///< records that passed checksum on scan
+    std::uint64_t file_bytes = 0;
+    std::uint64_t valid_bytes = 0;  ///< header + intact records
+    bool tail_truncated = false;    ///< scan found a torn/corrupt tail
+};
+
+/// Result of rewriting a log with duplicate keys (last write wins) and any
+/// torn tail dropped.
+struct CompactResult {
+    std::size_t records_before = 0;
+    std::size_t records_after = 0;
+    std::uint64_t bytes_before = 0;
+    std::uint64_t bytes_after = 0;
+};
+
+/// One append-only evaluation log. Not internally synchronised: EvalCache
+/// serialises access per namespace.
+class DiskLog {
+public:
+    /// Opens (or creates) the log at `path` for namespace `case_key` with
+    /// input dimension `dim`. Existing files are scanned; a torn tail is
+    /// truncated so appends continue from the last intact record. Throws
+    /// std::runtime_error on an unreadable file or a header that does not
+    /// match (wrong magic/version/dim/key).
+    DiskLog(std::string path, std::string case_key, std::size_t dim);
+
+    /// Invokes `fn(offset, x, value)` for every intact record, in append
+    /// order. Offsets are stable (byte position of the record's payload).
+    void scan(const std::function<void(std::uint64_t, std::span<const double>,
+                                       double)>& fn);
+
+    /// Appends one record and flushes; returns the payload offset.
+    std::uint64_t append(std::span<const double> x, double value);
+
+    /// Reads the record whose payload starts at `offset` into x_out/value.
+    /// Returns false when the offset is out of range or the record fails
+    /// its checksum (a compaction raced us, or the caller is confused).
+    bool read_at(std::uint64_t offset, std::span<double> x_out,
+                 double& value);
+
+    std::size_t records() const noexcept { return records_; }
+    std::uint64_t valid_bytes() const noexcept { return end_; }
+    const std::string& path() const noexcept { return path_; }
+    bool tail_was_truncated() const noexcept { return tail_truncated_; }
+
+    std::size_t record_bytes() const noexcept {
+        return 4 + payload_bytes() + 8;
+    }
+    std::size_t payload_bytes() const noexcept { return dim_ * 8 + 8; }
+
+    /// Header + scan of an arbitrary log file, without opening it for
+    /// writing. Returns std::nullopt when the file is not a NOFIS eval log.
+    static std::optional<LogInfo> inspect(const std::string& path);
+
+    /// Rewrites `path` keeping the last record per exact input row and
+    /// dropping any torn tail; atomic (write temp + rename). Throws
+    /// std::runtime_error when the file is not a valid log.
+    static CompactResult compact(const std::string& path);
+
+private:
+    void open_and_recover();
+    void write_header();
+
+    std::string path_;
+    std::string case_key_;
+    std::size_t dim_ = 0;
+    std::fstream file_;
+    std::uint64_t end_ = 0;      ///< byte offset just past the last record
+    std::size_t records_ = 0;
+    bool tail_truncated_ = false;
+};
+
+}  // namespace nofis::evalcache

@@ -1,0 +1,281 @@
+#include "evalcache/eval_cache.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "telemetry/telemetry.hpp"
+
+namespace nofis::evalcache {
+
+namespace {
+
+/// Rounds up to a power of two (shard counts index with a mask).
+std::size_t pow2_at_least(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+bool same_row(std::span<const double> a, const std::vector<double>& b)
+    noexcept {
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+/// One cached evaluation. The full input row is stored so a lookup is
+/// decided by byte equality, never by the 64-bit hash alone.
+struct EvalCache::Entry {
+    std::uint64_t hash = 0;
+    Namespace ns = nullptr;
+    std::vector<double> x;
+    double value = 0.0;
+};
+
+struct EvalCache::Shard {
+    std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::vector<std::list<Entry>::iterator>>
+        index;
+    std::size_t bytes = 0;
+};
+
+struct EvalCache::NamespaceState {
+    std::string key;
+    std::size_t dim = 0;
+    std::uint32_t id = 0;   ///< folded into the key hash
+    std::mutex disk_mutex;  ///< serialises log reads/appends and the index
+    std::unique_ptr<DiskLog> log;
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> disk_index;
+};
+
+EvalCache::EvalCache(CacheConfig cfg) : cfg_(std::move(cfg)) {
+    const std::size_t n = pow2_at_least(cfg_.shards == 0 ? 1 : cfg_.shards);
+    shard_mask_ = n - 1;
+    shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+EvalCache::~EvalCache() = default;
+
+std::size_t EvalCache::entry_bytes(std::size_t dim) noexcept {
+    // Input row + value + list/map node bookkeeping. The constant slightly
+    // overcharges small rows, which errs toward staying under the cap.
+    return dim * sizeof(double) + 96;
+}
+
+std::uint64_t EvalCache::hash_key(Namespace ns,
+                                  std::span<const double> x) const noexcept {
+    if (cfg_.test_constant_hash) return 0x4e0f15ca11ULL;
+    std::uint64_t h = fnv1a64(x.data(), x.size() * sizeof(double));
+    // Fold the namespace in so the same row under two cases cannot alias.
+    h ^= (static_cast<std::uint64_t>(ns->id) + 1) * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    return h;
+}
+
+EvalCache::Shard& EvalCache::shard_for(std::uint64_t hash) noexcept {
+    return *shards_[(hash >> 48) & shard_mask_];
+}
+
+std::string EvalCache::log_filename(const std::string& case_key) {
+    std::string name;
+    name.reserve(case_key.size() + 4);
+    for (char c : case_key) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' || c == '-';
+        name.push_back(ok ? c : '_');
+    }
+    if (name.empty()) name = "case";
+    return name + ".evc";
+}
+
+EvalCache::Namespace EvalCache::open_namespace(const std::string& case_key,
+                                               std::size_t dim) {
+    const std::lock_guard<std::mutex> lock(ns_mutex_);
+    if (const auto it = ns_by_key_.find(case_key); it != ns_by_key_.end()) {
+        if (it->second->dim != dim)
+            throw std::runtime_error(
+                "EvalCache: namespace '" + case_key + "' opened with dim " +
+                std::to_string(dim) + ", but it has dim " +
+                std::to_string(it->second->dim));
+        return it->second;
+    }
+
+    auto state = std::make_unique<NamespaceState>();
+    state->key = case_key;
+    state->dim = dim;
+    state->id = static_cast<std::uint32_t>(namespaces_.size());
+    const Namespace ns = state.get();
+
+    if (!cfg_.dir.empty()) {
+        // Disk-I/O span: covers log open, torn-tail recovery and the index
+        // scan. Only records when the caller owns the active span tree.
+        const telemetry::ScopedSpan disk_span("cache_disk_open");
+        std::filesystem::create_directories(cfg_.dir);
+        const std::string path =
+            (std::filesystem::path(cfg_.dir) / log_filename(case_key))
+                .string();
+        state->log = std::make_unique<DiskLog>(path, case_key, dim);
+        state->log->scan([&](std::uint64_t offset, std::span<const double> x,
+                             double value) {
+            (void)value;
+            state->disk_index[hash_key(ns, x)].push_back(offset);
+        });
+        disk_records_.fetch_add(state->log->records(),
+                                std::memory_order_relaxed);
+        telemetry::count("cache.disk_records", state->log->records());
+    }
+
+    namespaces_.push_back(std::move(state));
+    ns_by_key_.emplace(case_key, ns);
+    return ns;
+}
+
+bool EvalCache::lookup(Namespace ns, std::span<const double> x,
+                       double& value) {
+    const std::uint64_t hash = hash_key(ns, x);
+
+    {
+        Shard& shard = shard_for(hash);
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        if (const auto it = shard.index.find(hash); it != shard.index.end()) {
+            for (const auto& entry_it : it->second) {
+                if (entry_it->ns != ns || !same_row(x, entry_it->x)) continue;
+                value = entry_it->value;
+                shard.lru.splice(shard.lru.begin(), shard.lru, entry_it);
+                hits_.fetch_add(1, std::memory_order_relaxed);
+                telemetry::count("cache.hits");
+                return true;
+            }
+        }
+    }
+
+    // Tier 2: probe the namespace's disk index, verify the stored row
+    // byte-for-byte, and promote the hit into tier 1.
+    NamespaceState& state = *ns;
+    if (state.log) {
+        std::vector<double> row(state.dim);
+        double v = 0.0;
+        bool found = false;
+        {
+            const std::lock_guard<std::mutex> lock(state.disk_mutex);
+            if (const auto it = state.disk_index.find(hash);
+                it != state.disk_index.end()) {
+                for (const std::uint64_t offset : it->second) {
+                    if (!state.log->read_at(offset, row, v)) continue;
+                    telemetry::count("cache.disk_reads");
+                    if (!same_row(x, row)) continue;
+                    found = true;
+                    break;
+                }
+            }
+        }
+        if (found) {
+            value = v;
+            insert_mem(ns, hash, x, v);
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            disk_hits_.fetch_add(1, std::memory_order_relaxed);
+            telemetry::count("cache.hits");
+            telemetry::count("cache.disk_hits");
+            return true;
+        }
+    }
+
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::count("cache.misses");
+    return false;
+}
+
+bool EvalCache::insert_mem(Namespace ns, std::uint64_t hash,
+                           std::span<const double> x, double value) {
+    Shard& shard = shard_for(hash);
+    const std::size_t eb = entry_bytes(x.size());
+    const std::size_t shard_cap =
+        std::max<std::size_t>(cfg_.mem_bytes / shards_.size(), 1);
+    std::size_t evicted = 0;
+    {
+        const std::lock_guard<std::mutex> lock(shard.mutex);
+        auto& bucket = shard.index[hash];
+        for (const auto& entry_it : bucket)
+            if (entry_it->ns == ns && same_row(x, entry_it->x))
+                return false;  // first write wins; g is pure
+
+        shard.lru.push_front(
+            Entry{hash, ns, std::vector<double>(x.begin(), x.end()), value});
+        bucket.push_back(shard.lru.begin());
+        shard.bytes += eb;
+        bytes_.fetch_add(eb, std::memory_order_relaxed);
+        entries_.fetch_add(1, std::memory_order_relaxed);
+
+        // LRU eviction at the byte cap (the newest entry always survives,
+        // even when it alone exceeds the shard's slice).
+        while (shard.bytes > shard_cap && shard.lru.size() > 1) {
+            const auto victim = std::prev(shard.lru.end());
+            auto& vb = shard.index[victim->hash];
+            for (auto vit = vb.begin(); vit != vb.end(); ++vit) {
+                if (*vit == victim) {
+                    vb.erase(vit);
+                    break;
+                }
+            }
+            if (vb.empty()) shard.index.erase(victim->hash);
+            const std::size_t victim_bytes = entry_bytes(victim->x.size());
+            shard.bytes -= victim_bytes;
+            bytes_.fetch_sub(victim_bytes, std::memory_order_relaxed);
+            entries_.fetch_sub(1, std::memory_order_relaxed);
+            shard.lru.pop_back();
+            ++evicted;
+        }
+    }
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    if (evicted > 0) {
+        evictions_.fetch_add(evicted, std::memory_order_relaxed);
+        telemetry::count("cache.evictions", evicted);
+    }
+    telemetry::metric("cache.bytes",
+                      static_cast<double>(
+                          bytes_.load(std::memory_order_relaxed)));
+    return true;
+}
+
+void EvalCache::insert(Namespace ns, std::span<const double> x,
+                       double value) {
+    // A faulted evaluation (NaN/inf) must never be replayed as truth.
+    if (!std::isfinite(value)) return;
+    NamespaceState& state = *ns;
+    if (x.size() != state.dim) return;
+
+    const std::uint64_t hash = hash_key(ns, x);
+    if (!insert_mem(ns, hash, x, value)) return;
+
+    if (state.log) {
+        const std::lock_guard<std::mutex> lock(state.disk_mutex);
+        const std::uint64_t offset = state.log->append(x, value);
+        state.disk_index[hash].push_back(offset);
+        disk_appends_.fetch_add(1, std::memory_order_relaxed);
+        telemetry::count("cache.disk_appends");
+    }
+}
+
+CacheStats EvalCache::stats() const {
+    CacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.disk_hits = disk_hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.insertions = insertions_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.bytes = bytes_.load(std::memory_order_relaxed);
+    s.entries = entries_.load(std::memory_order_relaxed);
+    s.disk_records = disk_records_.load(std::memory_order_relaxed);
+    s.disk_appends = disk_appends_.load(std::memory_order_relaxed);
+    return s;
+}
+
+}  // namespace nofis::evalcache

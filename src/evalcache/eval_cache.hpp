@@ -1,0 +1,150 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "evalcache/disk_log.hpp"
+
+namespace nofis::evalcache {
+
+/// Two-tier memoization settings for g(x) evaluations.
+struct CacheConfig {
+    /// Tier-1 (in-memory) capacity in bytes, across all shards. Each cached
+    /// entry is charged its input row, value and bookkeeping overhead; the
+    /// per-shard LRU evicts once its slice of this budget is exceeded.
+    std::size_t mem_bytes = 64ull << 20;
+    /// Tier-2 directory: one append-only, checksummed log per
+    /// (test case, dim). Empty = in-memory only.
+    std::string dir;
+    /// Striped-mutex shard count (rounded up to a power of two) so
+    /// parallel_for lanes and the serve scheduler can hit the cache
+    /// concurrently.
+    std::size_t shards = 16;
+    /// Test hook: collapse every key onto one hash value, forcing maximal
+    /// collisions. Correctness must not change — entries are verified
+    /// against the full input row bytes, never just the hash.
+    bool test_constant_hash = false;
+};
+
+/// Snapshot of the cache's counters (all monotonic except bytes/entries).
+struct CacheStats {
+    std::uint64_t hits = 0;          ///< lookups served (memory + disk)
+    std::uint64_t disk_hits = 0;     ///< subset of hits read from tier 2
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t bytes = 0;         ///< current tier-1 footprint
+    std::uint64_t entries = 0;       ///< current tier-1 entry count
+    std::uint64_t disk_records = 0;  ///< records indexed across open logs
+    std::uint64_t disk_appends = 0;
+
+    double hit_rate() const noexcept {
+        const std::uint64_t total = hits + misses;
+        return total > 0 ? static_cast<double>(hits) /
+                               static_cast<double>(total)
+                         : 0.0;
+    }
+};
+
+/// Process-wide memoization of g(x) evaluations, shared by estimator runs,
+/// benches and the serve scheduler (DESIGN.md §11).
+///
+///   * Tier 1: sharded in-memory LRU. Each shard has its own mutex, so
+///     concurrent lookups from parallel_for lanes stripe across locks.
+///     Entries store the full input row — a lookup compares every byte of
+///     x, so 64-bit hash collisions cannot alias two inputs by
+///     construction.
+///   * Tier 2 (optional): one crash-safe append-only log per namespace
+///     (test case + dim) under `dir`. Opened logs are indexed by hash →
+///     file offset; a tier-1 miss probes the index, reads the record back,
+///     verifies the stored row bytes, and promotes the hit into tier 1.
+///
+/// Correctness contract: g is a pure function of its input row, so serving
+/// a hit is bitwise identical to re-evaluating — results never depend on
+/// the cache being off, cold, warm, or shared across thread counts; only
+/// the fresh-call count changes. The cache never stores non-finite values
+/// (a faulted evaluation must not be replayed as truth; see
+/// estimators::CachedProblem).
+///
+/// Telemetry: cache.hits / cache.misses / cache.evictions counters and a
+/// cache.bytes metric on the active trace; namespace opens record their
+/// disk scan under a "cache_disk_open" span.
+class EvalCache {
+public:
+    struct NamespaceState;
+    /// Opaque handle to one (case key, dim) namespace. Stable for the
+    /// cache's lifetime, so hot-path lookups never touch the namespace
+    /// registry (or its lock) again after open_namespace.
+    using Namespace = NamespaceState*;
+
+    explicit EvalCache(CacheConfig cfg);
+    ~EvalCache();
+    EvalCache(const EvalCache&) = delete;
+    EvalCache& operator=(const EvalCache&) = delete;
+
+    /// Resolves (creating on first use) the namespace for `case_key` with
+    /// input dimension `dim`. With a disk tier this opens/recovers the
+    /// namespace's log and indexes its records. Throws std::runtime_error
+    /// when `case_key` was previously opened with a different dim or its
+    /// log file is unusable.
+    Namespace open_namespace(const std::string& case_key, std::size_t dim);
+
+    /// Tier-1 then tier-2 lookup; on a hit writes the cached g into `value`
+    /// and returns true. `x` must match the namespace dim.
+    bool lookup(Namespace ns, std::span<const double> x, double& value);
+
+    /// Stores (x, value). Non-finite values and duplicate keys are ignored
+    /// (first write wins — g is pure, so a duplicate carries the same
+    /// value). With a disk tier the record is also appended to the log.
+    void insert(Namespace ns, std::span<const double> x, double value);
+
+    CacheStats stats() const;
+    const CacheConfig& config() const noexcept { return cfg_; }
+
+    /// Canonical log filename for a namespace key (sanitised so arbitrary
+    /// case keys cannot escape the cache directory).
+    static std::string log_filename(const std::string& case_key);
+
+    /// Bytes one tier-1 entry of input dimension `dim` is charged against
+    /// mem_bytes (row storage plus node bookkeeping).
+    static std::size_t entry_bytes(std::size_t dim) noexcept;
+
+private:
+    struct Entry;
+    struct Shard;
+
+    std::uint64_t hash_key(Namespace ns,
+                           std::span<const double> x) const noexcept;
+    Shard& shard_for(std::uint64_t hash) noexcept;
+    /// Inserts into tier 1 only; returns false when the key already exists.
+    bool insert_mem(Namespace ns, std::uint64_t hash,
+                    std::span<const double> x, double value);
+
+    CacheConfig cfg_;
+    std::size_t shard_mask_ = 0;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    mutable std::mutex ns_mutex_;
+    std::map<std::string, Namespace> ns_by_key_;
+    std::vector<std::unique_ptr<NamespaceState>> namespaces_;
+
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> disk_hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> insertions_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> bytes_{0};
+    std::atomic<std::uint64_t> entries_{0};
+    std::atomic<std::uint64_t> disk_records_{0};
+    std::atomic<std::uint64_t> disk_appends_{0};
+};
+
+}  // namespace nofis::evalcache

@@ -1,8 +1,10 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/nofis.hpp"
+#include "evalcache/cached_problem.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/normal.hpp"
 #include "telemetry/telemetry.hpp"
@@ -43,7 +45,15 @@ Json vector_json(const std::vector<double>& v, std::size_t begin,
 }  // namespace
 
 BatchScheduler::BatchScheduler(ModelRegistry& registry, SchedulerConfig cfg)
-    : registry_(registry), cfg_(cfg), worker_([this] { loop(); }) {}
+    : registry_(registry), cfg_(std::move(cfg)) {
+    if (cfg_.cache_mem_mb > 0 || !cfg_.cache_dir.empty()) {
+        evalcache::CacheConfig ccfg;
+        if (cfg_.cache_mem_mb > 0) ccfg.mem_bytes = cfg_.cache_mem_mb << 20;
+        ccfg.dir = cfg_.cache_dir;
+        eval_cache_ = std::make_shared<evalcache::EvalCache>(ccfg);
+    }
+    worker_ = std::thread([this] { loop(); });
+}
 
 BatchScheduler::~BatchScheduler() { stop(); }
 
@@ -362,23 +372,18 @@ void BatchScheduler::run_log_prob_group(
 
 const testcases::TestCase& BatchScheduler::case_for(const std::string& name,
                                                     std::size_t model_dim) {
-    const std::lock_guard<std::mutex> lock(case_mutex_);
-    auto it = case_cache_.find(name);
-    if (it == case_cache_.end()) {
-        std::unique_ptr<testcases::TestCase> tc;
-        try {
-            tc = testcases::make_case(name);
-        } catch (const std::invalid_argument& e) {
-            throw ServeError(ErrorCode::kUnknownCase, e.what());
-        }
-        it = case_cache_.emplace(name, std::move(tc)).first;
+    const testcases::TestCase* tc = nullptr;
+    try {
+        tc = &case_factory_.get(name);
+    } catch (const std::invalid_argument& e) {
+        throw ServeError(ErrorCode::kUnknownCase, e.what());
     }
-    if (it->second->dim() != model_dim)
+    if (tc->dim() != model_dim)
         throw ServeError(ErrorCode::kDimMismatch,
                          "case '" + name + "' has dim " +
-                             std::to_string(it->second->dim()) +
-                             ", model has dim " + std::to_string(model_dim));
-    return *it->second;
+                             std::to_string(tc->dim()) + ", model has dim " +
+                             std::to_string(model_dim));
+    return *tc;
 }
 
 void BatchScheduler::run_estimate(const std::shared_ptr<const Model>& model,
@@ -386,13 +391,28 @@ void BatchScheduler::run_estimate(const std::shared_ptr<const Model>& model,
     try {
         const testcases::TestCase& tc =
             case_for(p.req.case_name, model->info.dim);
+        // Optional shared memoization tier: estimates execute one at a time
+        // in queue order on this thread, so the per-request hit count is
+        // deterministic for a given request sequence. p_hat is bitwise
+        // identical with the cache off, cold, or warm (g is pure).
+        std::optional<evalcache::CachedProblem> cached;
+        const estimators::RareEventProblem* problem = &tc;
+        if (eval_cache_) {
+            cached.emplace(tc, eval_cache_, testcases::cache_key(tc));
+            problem = &*cached;
+        }
         rng::Engine eng(p.req.seed);
         core::IsDiagnostics diag;
         const auto res = core::NofisEstimator::importance_estimate(
-            model->stack, tc, eng, p.req.n, &diag);
+            model->stack, *problem, eng, p.req.n, &diag);
+        const std::size_t calls_cached =
+            cached ? std::min(cached->hits(), res.calls) : std::size_t{0};
+        evalcache::report_call_split(res.calls, calls_cached);
         Json result = Json::object();
         result.set("p_hat", Json::number(res.p_hat));
         result.set("calls", Json::number_u64(res.calls));
+        result.set("calls_cached", Json::number_u64(calls_cached));
+        result.set("calls_fresh", Json::number_u64(res.calls - calls_cached));
         result.set("hits", Json::number_u64(diag.hits));
         result.set("ess", Json::number(diag.effective_sample_size));
         result.set("ess_all", Json::number(diag.ess_all));

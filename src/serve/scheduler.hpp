@@ -6,15 +6,16 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "evalcache/eval_cache.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/protocol.hpp"
+#include "testcases/case_factory.hpp"
 #include "testcases/testcase.hpp"
 
 namespace nofis::serve {
@@ -32,6 +33,16 @@ struct SchedulerConfig {
     /// Bounded request queue: submissions beyond this complete immediately
     /// with a kQueueFull error (backpressure, never unbounded memory).
     std::size_t max_queue = 1024;
+
+    /// In-memory budget (MiB) of the g-evaluation cache shared by every
+    /// estimate request. 0 together with an empty cache_dir disables the
+    /// cache; 0 with a cache_dir set uses the evalcache default budget.
+    /// Responses are bitwise identical either way — only the
+    /// calls_fresh/calls_cached split in the estimate result changes.
+    std::size_t cache_mem_mb = 0;
+    /// Optional persistent tier: directory of per-case append-only logs
+    /// (see evalcache::DiskLog). Empty = memory-only.
+    std::string cache_dir;
 };
 
 /// Coalesces concurrent serving requests into micro-batches and executes
@@ -110,8 +121,12 @@ private:
     bool paused_ = false;
     std::size_t queue_peak_ = 0;
 
-    std::mutex case_mutex_;
-    std::map<std::string, std::unique_ptr<testcases::TestCase>> case_cache_;
+    /// One canonical TestCase instance per name, shared by every request
+    /// (and usable as an evalcache key source). Replaces the scheduler's
+    /// former private case map.
+    testcases::CaseFactory case_factory_;
+    /// Shared across all estimate requests; null when disabled.
+    std::shared_ptr<evalcache::EvalCache> eval_cache_;
 
     std::function<void()> shutdown_handler_;
     std::mutex handler_mutex_;

@@ -1,0 +1,26 @@
+#include "testcases/case_factory.hpp"
+
+namespace nofis::testcases {
+
+const TestCase& CaseFactory::get(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cases_.find(name);
+    if (it == cases_.end())
+        it = cases_.emplace(name, make_case(name)).first;
+    return *it->second;
+}
+
+CaseFactory& CaseFactory::global() {
+    static CaseFactory factory;
+    return factory;
+}
+
+std::string cache_key(const std::string& name, std::size_t dim) {
+    return name + "#d" + std::to_string(dim);
+}
+
+std::string cache_key(const TestCase& tc) {
+    return cache_key(tc.name(), tc.dim());
+}
+
+}  // namespace nofis::testcases

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "testcases/registry.hpp"
+
+namespace nofis::testcases {
+
+/// Thread-safe memoizing test-case factory: constructs each named case at
+/// most once and hands out stable references. Construction matters for two
+/// reasons — some cases are expensive to build (DeepNet62 trains its base
+/// network, ~1 s), and callers that key caches on a case (the serve
+/// scheduler, the evaluation cache) want one canonical instance per name.
+///
+/// get() serialises construction per factory; the returned reference stays
+/// valid for the factory's lifetime.
+class CaseFactory {
+public:
+    CaseFactory() = default;
+    CaseFactory(const CaseFactory&) = delete;
+    CaseFactory& operator=(const CaseFactory&) = delete;
+
+    /// The case named `name`, constructed on first use. Throws
+    /// std::invalid_argument for unknown names (same contract as
+    /// make_case).
+    const TestCase& get(const std::string& name);
+
+    /// Process-wide shared factory for CLI / bench flows.
+    static CaseFactory& global();
+
+private:
+    std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<TestCase>> cases_;
+};
+
+/// Canonical evaluation-cache namespace key for a problem: "<name>#d<dim>".
+/// The dim is folded in so a renamed or re-parameterised case can never
+/// alias stale cached evaluations.
+std::string cache_key(const std::string& name, std::size_t dim);
+std::string cache_key(const TestCase& tc);
+
+}  // namespace nofis::testcases
