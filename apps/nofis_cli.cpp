@@ -10,11 +10,19 @@
 //       Print an automatically selected nested-subset schedule.
 //   nofis_cli train --case Leaf --save leaf.nofisflow [--seed 1]
 //            [--inject-nan 0.05] [--inject-throw 0.01] [--policy retry]
+//            [--checkpoint-dir D] [--checkpoint-every K] [--resume]
+//            [--checkpoint-keep 3]
 //       Train the NOFIS proposal at the case budget and serialise it,
 //       printing the run-health summary (faults, rollbacks, proposal
 //       quality). The --inject-* flags wrap the case in the deterministic
 //       fault injector to exercise the guardrails; --policy selects the
-//       guard response (retry | clamp | propagate).
+//       guard response (retry | clamp | propagate). `run` is an alias.
+//       With --checkpoint-dir a durable snapshot is written at every stage
+//       boundary (and every --checkpoint-every epochs inside a stage);
+//       SIGINT/SIGTERM finish the in-flight stage, write a final snapshot,
+//       and exit cleanly. --resume restarts from the latest valid snapshot
+//       and produces stdout, metrics and a saved model byte-identical to an
+//       uninterrupted run (DESIGN.md §12).
 //   nofis_cli reuse --case Leaf --load leaf.nofisflow [--nis 5000] [--seed 2]
 //       Reload a trained proposal and draw a fresh importance-sampling
 //       estimate without retraining.
@@ -201,6 +209,24 @@ int cmd_train(int argc, char** argv) {
     // ever stored — the namespace stays safe to share with clean runs.
     cfg.cache = cache_from_flags(argc, argv);
     cfg.cache_key = testcases::cache_key(case_name, tc->dim());
+
+    // Crash-safe training (DESIGN.md §12): durable snapshots at every stage
+    // boundary (plus every --checkpoint-every epochs), resumed bitwise with
+    // --resume. The run identity folds in everything that shapes the
+    // trajectory — including the seed and injected-fault rates via the salt
+    // below — so snapshots from a different run can never be resumed.
+    cfg.checkpoint.dir = arg_value(argc, argv, "--checkpoint-dir", "");
+    cfg.checkpoint.every_epochs =
+        size_flag(argc, argv, "--checkpoint-every", "0");
+    cfg.checkpoint.resume = flag_present(argc, argv, "--resume");
+    cfg.checkpoint.keep = size_flag(argc, argv, "--checkpoint-keep", "3");
+    {
+        checkpoint::FingerprintBuilder salt;
+        salt.add(seed).add(nan_rate).add(throw_rate).add(case_name);
+        cfg.checkpoint.salt = salt.value();
+    }
+    if (cfg.checkpoint.enabled()) checkpoint::install_stop_handlers();
+
     core::NofisEstimator est(cfg,
                              core::LevelSchedule::manual(budget.levels));
 
@@ -217,14 +243,32 @@ int cmd_train(int argc, char** argv) {
             : *tc;
 
     rng::Engine eng(seed);
+    if (cfg.checkpoint.resume)
+        std::fprintf(stderr, "resuming from checkpoints in %s (if any)\n",
+                     cfg.checkpoint.dir.c_str());
     auto run = est.run(problem, eng);
+    if (run.interrupted) {
+        // Keep every resume/interrupt notice on stderr: a resumed run's
+        // stdout must be byte-identical to an uninterrupted run's.
+        std::fprintf(stderr,
+                     "interrupted: checkpoint written to %s; rerun with "
+                     "--resume to continue\n",
+                     cfg.checkpoint.dir.c_str());
+        return 0;
+    }
     std::printf("trained %s: p = %.4e (calls %zu, log-err %.3f)\n",
                 case_name.c_str(), run.estimate.p_hat, run.estimate.calls,
                 estimators::log_error(run.estimate.p_hat, tc->golden_pr()));
     std::printf("%s\n", run.health.summary().c_str());
-    if (nan_rate > 0.0 || throw_rate > 0.0)
-        std::printf("injector: %zu fault(s) injected over %zu call(s)\n",
-                    injected.injected_total(), injected.calls());
+    if (nan_rate > 0.0 || throw_rate > 0.0) {
+        // The ledger counts THIS process's arrivals, so a resumed run's
+        // numbers legitimately differ from an uninterrupted run's. Under
+        // checkpointing the line moves to stderr to keep stdout bitwise
+        // comparable across kill/resume.
+        std::FILE* out = cfg.checkpoint.enabled() ? stderr : stdout;
+        std::fprintf(out, "injector: %zu fault(s) injected over %zu call(s)\n",
+                     injected.injected_total(), injected.calls());
+    }
     flow::save_stack(*run.flow, path);
     std::printf("proposal saved to %s\n", path.c_str());
     return 0;
@@ -491,8 +535,8 @@ int cmd_query(int argc, char** argv) {
 void usage() {
     std::fprintf(
         stderr,
-        "usage: nofis_cli <list|estimate|levels|train|reuse|info|serve|query"
-        "|cache-info|cache-compact>"
+        "usage: nofis_cli <list|estimate|levels|train|run|reuse|info|serve"
+        "|query|cache-info|cache-compact>"
         " [options] [--threads N] [--metrics-out FILE.json]\n"
         "(see the header of apps/nofis_cli.cpp)\n");
 }
@@ -512,7 +556,10 @@ int main(int argc, char** argv) {
         if (cmd == "list") rc = cmd_list();
         if (cmd == "estimate") rc = cmd_estimate(argc, argv);
         if (cmd == "levels") rc = cmd_levels(argc, argv);
-        if (cmd == "train") rc = cmd_train(argc, argv);
+        // `run` is the checkpoint-era alias for `train` (ISSUE 6's
+        // "nofis_cli run --checkpoint-dir D --resume" spelling); both
+        // accept the same flags.
+        if (cmd == "train" || cmd == "run") rc = cmd_train(argc, argv);
         if (cmd == "reuse") rc = cmd_reuse(argc, argv);
         if (cmd == "info") rc = cmd_info(argc, argv);
         if (cmd == "serve") rc = cmd_serve(argc, argv);

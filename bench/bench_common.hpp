@@ -18,6 +18,7 @@
 #include "evalcache/eval_cache.hpp"
 #include "parallel/thread_pool.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/atomic_file.hpp"
 #include "util/parse.hpp"
 #include "estimators/adaptive_is.hpp"
 #include "estimators/monte_carlo.hpp"
@@ -190,6 +191,13 @@ inline std::string arg_value(int argc, char** argv, const char* name,
     return fallback;
 }
 
+/// True when the boolean flag "--name" appears anywhere in argv.
+inline bool flag_present(int argc, char** argv, const char* name) {
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], name) == 0) return true;
+    return false;
+}
+
 /// Strict numeric flag readers. A malformed value ("--repeats abc", "12x",
 /// "-3" for a count) is a hard error with a diagnostic and exit code 2 —
 /// never a silent 0 that makes the run "succeed" doing nothing.
@@ -271,20 +279,25 @@ public:
 
     /// Writes the JSON record (idempotent). Returns false when the file
     /// could not be written; callers that care propagate a nonzero exit.
+    /// The write is atomic (temp + fsync + rename), so a crash or injected
+    /// I/O fault mid-write never leaves a truncated JSON file where a
+    /// previous good one was.
     bool finish() {
         if (!enabled() || finished_) return ok_;
         finished_ = true;
         parallel::export_pool_stats(trace_);
         telemetry::set_active(nullptr);
-        std::ofstream os(path_);
-        if (os) {
-            trace_.write_json(os);
-            os << '\n';
+        try {
+            util::AtomicFile file(path_);
+            trace_.write_json(file.stream());
+            file.stream() << '\n';
+            file.commit();
+            ok_ = true;
+        } catch (const std::exception& e) {
+            ok_ = false;
+            std::fprintf(stderr, "error: cannot write metrics to '%s': %s\n",
+                         path_.c_str(), e.what());
         }
-        ok_ = static_cast<bool>(os);
-        if (!ok_)
-            std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
-                         path_.c_str());
         return ok_;
     }
 

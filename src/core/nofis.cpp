@@ -29,6 +29,76 @@ double tempered_log_weight(double tau, double a, double g) {
     return std::min(tau * (a - g), 0.0);
 }
 
+checkpoint::StageRecord to_record(const StageDiagnostics& d) {
+    checkpoint::StageRecord r;
+    r.stage = d.stage;
+    r.level = d.level;
+    r.epoch_loss = d.epoch_loss;
+    r.inside_fraction = d.inside_fraction;
+    r.retries = d.retries;
+    r.retry_reasons = d.retry_reasons;
+    r.skipped_epochs = d.skipped_epochs;
+    return r;
+}
+
+StageDiagnostics to_diagnostics(const checkpoint::StageRecord& r) {
+    StageDiagnostics d;
+    d.stage = r.stage;
+    d.level = r.level;
+    d.epoch_loss = r.epoch_loss;
+    d.inside_fraction = r.inside_fraction;
+    d.retries = r.retries;
+    d.retry_reasons = r.retry_reasons;
+    d.skipped_epochs = r.skipped_epochs;
+    return d;
+}
+
+/// Identity of a run for checkpoint purposes: every config field that
+/// shapes the training trajectory, plus the level schedule and problem
+/// dimension. Deliberately excludes `threads` and the cache wiring — both
+/// are bitwise-orthogonal to results — so a snapshot taken at --threads 8
+/// resumes fine at --threads 1 and vice versa.
+std::uint64_t run_fingerprint(const NofisConfig& cfg,
+                              const core::LevelSchedule& levels,
+                              std::size_t dim) {
+    checkpoint::FingerprintBuilder fp;
+    fp.add(std::uint64_t{1})  // fingerprint schema version
+        .add(static_cast<std::uint64_t>(dim))
+        .add(static_cast<std::uint64_t>(levels.num_levels()));
+    for (std::size_t i = 0; i < levels.num_levels(); ++i)
+        fp.add(levels.level(i));
+    fp.add(static_cast<std::uint64_t>(cfg.layers_per_block));
+    fp.add(static_cast<std::uint64_t>(cfg.hidden.size()));
+    for (std::size_t h : cfg.hidden) fp.add(static_cast<std::uint64_t>(h));
+    fp.add(cfg.scale_cap)
+        .add(static_cast<std::uint64_t>(cfg.coupling))
+        .add(static_cast<std::uint64_t>(cfg.use_actnorm))
+        .add(static_cast<std::uint64_t>(cfg.epochs))
+        .add(static_cast<std::uint64_t>(cfg.samples_per_epoch))
+        .add(cfg.learning_rate)
+        .add(cfg.lr_decay)
+        .add(cfg.grad_clip)
+        .add(cfg.tau)
+        .add(static_cast<std::uint64_t>(cfg.n_is))
+        .add(static_cast<std::uint64_t>(cfg.freeze_previous))
+        .add(cfg.defensive_weight)
+        .add(cfg.defensive_sigma)
+        .add(static_cast<std::uint64_t>(cfg.guard.policy))
+        .add(static_cast<std::uint64_t>(cfg.guard.max_retries))
+        .add(cfg.guard.perturb_sigma)
+        .add(cfg.guard.clamp_value)
+        .add(cfg.guard.seed)
+        .add(static_cast<std::uint64_t>(cfg.stage_max_retries))
+        .add(cfg.retry_lr_factor)
+        .add(cfg.retry_grad_clip_factor)
+        .add(cfg.retry_scale_cap_factor)
+        .add(cfg.min_inside_fraction)
+        .add(cfg.grad_explode_factor)
+        .add(static_cast<std::uint64_t>(cfg.grad_clip_mode))
+        .add(cfg.checkpoint.salt);
+    return fp.value();
+}
+
 }  // namespace
 
 NofisEstimator::NofisEstimator(NofisConfig cfg, LevelSchedule levels)
@@ -82,6 +152,76 @@ NofisEstimator::RunResult NofisEstimator::run(
     // Training-phase g budget, tallied per batch (the guard's own counter
     // also covers retry probes, which are charged separately below).
     std::size_t train_g_calls = 0;
+    std::size_t g_grad_calls = 0;
+
+    // --- checkpoint/resume (DESIGN.md §12) -------------------------------
+    const checkpoint::CheckpointConfig& ck = cfg_.checkpoint;
+    std::optional<checkpoint::CheckpointDir> ckdir;
+    std::optional<checkpoint::TrainSnapshot> resumed;
+    // Evalcache hits accumulated by *earlier* incarnations of this run;
+    // this process's decorator counts from zero, so the cumulative hit
+    // tally is baseline + cached->hits().
+    std::size_t cached_hits_baseline = 0;
+    std::size_t start_stage = 1;
+    if (ck.enabled()) {
+        ckdir.emplace(ck.dir, ck.keep);
+        if (ck.resume) {
+            const std::uint64_t fp = run_fingerprint(cfg_, levels_, d);
+            resumed = ckdir->load_latest(fp);
+        }
+        if (resumed) {
+            // Restore every piece of run state the snapshot captured; from
+            // here on the process is indistinguishable from one that never
+            // stopped. The two telemetry counts re-seed this process's
+            // fresh RunTrace with the pre-snapshot tallies so end-of-run
+            // counters match an uninterrupted run.
+            flow::restore_params(*stack, resumed->params);
+            stack->set_scale_caps(resumed->scale_caps);
+            eng.set_state(resumed->rng_state);
+            guarded.import_state(
+                {resumed->guard_call_index, resumed->guard_report});
+            train_g_calls = resumed->train_g_calls;
+            g_grad_calls = resumed->g_grad_calls;
+            cached_hits_baseline = resumed->cached_hits;
+            if (train_g_calls > 0)
+                telemetry::count("g_calls.train", train_g_calls);
+            if (g_grad_calls > 0)
+                telemetry::count("g_grad_calls", g_grad_calls);
+            for (const auto& rec : resumed->stages)
+                result.stages.push_back(to_diagnostics(rec));
+            start_stage = resumed->next_stage;
+        }
+    }
+
+    // Snapshot of everything needed to continue from "about to run stage
+    // `next_stage`" (or, with the partial extras filled in by the epoch
+    // hook, from inside it).
+    auto snapshot_base = [&](std::uint64_t next_stage) {
+        checkpoint::TrainSnapshot s;
+        s.fingerprint = run_fingerprint(cfg_, levels_, d);
+        s.next_stage = next_stage;
+        s.params = flow::snapshot_params(*stack);
+        s.scale_caps = stack->scale_caps();
+        s.rng_state = eng.state();
+        const auto gs = guarded.export_state();
+        s.guard_call_index = gs.call_index;
+        s.guard_report = gs.report;
+        s.train_g_calls = train_g_calls;
+        s.g_grad_calls = g_grad_calls;
+        s.cached_hits =
+            cached ? cached_hits_baseline + cached->hits() : std::size_t{0};
+        s.stages.reserve(result.stages.size());
+        for (const auto& sd : result.stages) s.stages.push_back(to_record(sd));
+        return s;
+    };
+    auto persist = [&](const checkpoint::TrainSnapshot& s) {
+        ckdir->write(s);
+        if (ck.crash_after_snapshots > 0 &&
+            ckdir->writes() >= ck.crash_after_snapshots)
+            throw checkpoint::SimulatedCrash(
+                "simulated crash after snapshot " +
+                std::to_string(ckdir->writes()));
+    };
 
     // One training pass over stage m at (lr0, clip). In abort mode the pass
     // stops at the first divergence signal so the caller can roll back; in
@@ -91,9 +231,21 @@ NofisEstimator::RunResult NofisEstimator::run(
         bool diverged = false;
         const char* reason = "";
     };
+    // Mid-stage resume context for one train_stage call: enter the epoch
+    // loop at `start_epoch` with the snapshot's decayed LR and optimizer
+    // moments instead of fresh ones. `anchor` is the stage's rollback
+    // checkpoint, persisted by epoch snapshots so a resumed attempt can
+    // still roll back to the true stage start.
+    struct StageResume {
+        std::size_t start_epoch = 0;
+        double stage_lr = 0.0;
+        const nn::OptimizerState* opt = nullptr;
+    };
     auto train_stage = [&](std::size_t m, double lr0, double clip,
-                           bool abort_on_divergence,
-                           StageDiagnostics& diag) -> StageOutcome {
+                           bool abort_on_divergence, StageDiagnostics& diag,
+                           std::size_t attempt,
+                           const flow::ParamSnapshot& anchor,
+                           const StageResume& resume) -> StageOutcome {
         const double a_m = levels_.level(m - 1);
         const std::size_t block = m - 1;
 
@@ -109,16 +261,42 @@ NofisEstimator::RunResult NofisEstimator::run(
         }
         nn::Adam opt(train_params, lr0);
         double stage_lr = lr0;
+        if (resume.opt != nullptr) {
+            opt.import_state(*resume.opt);
+            stage_lr = resume.stage_lr;
+        }
 
         std::size_t param_count = 0;
         for (const auto& p : train_params) param_count += p.value().size();
         const double explode_limit = nn::grad_explode_limit(
             cfg_.grad_clip_mode, clip, cfg_.grad_explode_factor, param_count);
 
-        diag.epoch_loss.clear();
-        diag.inside_fraction = 0.0;
+        if (resume.start_epoch == 0) {
+            diag.epoch_loss.clear();
+            diag.inside_fraction = 0.0;
+        }
 
-        for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+        for (std::size_t epoch = resume.start_epoch; epoch < cfg_.epochs;
+             ++epoch) {
+            // Optional epoch snapshot, taken at the top of the loop before
+            // any RNG draw so a resumed process replays the epoch
+            // bit-for-bit. `epoch > start_epoch` skips both epoch 0 (the
+            // stage-boundary snapshot already covers it) and an immediate
+            // rewrite of the snapshot just resumed from.
+            if (ckdir && ck.every_epochs > 0 && epoch > resume.start_epoch &&
+                epoch % ck.every_epochs == 0) {
+                checkpoint::TrainSnapshot s = snapshot_base(m);
+                s.has_partial = true;
+                s.next_epoch = epoch;
+                s.attempt = attempt;
+                s.attempt_lr = lr0;
+                s.attempt_clip = clip;
+                s.stage_lr = stage_lr;
+                s.opt_state = opt.export_state();
+                s.stage_start_params = anchor;
+                s.partial = to_record(diag);
+                persist(s);
+            }
             // Per-phase wall-clock spans. The spans accumulate across the
             // stage's epochs (count = epochs timed); none of them touches
             // the RNG or the math, so estimates are bitwise identical with
@@ -191,6 +369,7 @@ NofisEstimator::RunResult NofisEstimator::run(
             // the pool with one reserved call index per row.
             {
                 phase.emplace("g_grad");
+                g_grad_calls += grad_rows.size();
                 telemetry::count("g_grad_calls", grad_rows.size());
                 const std::size_t gbase = guarded.reserve_calls(
                     grad_rows.size());
@@ -269,7 +448,7 @@ NofisEstimator::RunResult NofisEstimator::run(
 
     {
         const telemetry::ScopedSpan train_span("train");
-        for (std::size_t m = 1; m <= num_stages; ++m) {
+        for (std::size_t m = start_stage; m <= num_stages; ++m) {
             // Retries re-enter the same stage span, so its wall-clock covers
             // every attempt and its phase counts expose the extra epochs.
             const telemetry::ScopedSpan stage_span("stage_" +
@@ -278,20 +457,38 @@ NofisEstimator::RunResult NofisEstimator::run(
             diag.stage = m;
             diag.level = levels_.level(m - 1);
 
-            // Checkpoint before the stage touches any parameter; rolled-back
-            // retries restart training from exactly this state.
-            const flow::ParamSnapshot checkpoint =
-                flow::snapshot_params(*stack);
+            // Rollback anchor taken before the stage touches any parameter;
+            // rolled-back retries restart training from exactly this state.
+            flow::ParamSnapshot anchor;
             double lr = cfg_.learning_rate;
             double clip = cfg_.grad_clip;
+            std::size_t first_attempt = 0;
+            StageResume stage_resume;
+            if (resumed && resumed->has_partial && m == start_stage) {
+                // Mid-stage snapshot: re-enter the in-flight attempt at the
+                // recorded epoch, with its shrunk LR/clip and the anchor it
+                // would roll back to.
+                anchor = resumed->stage_start_params;
+                first_attempt = resumed->attempt;
+                lr = resumed->attempt_lr;
+                clip = resumed->attempt_clip;
+                stage_resume.start_epoch = resumed->next_epoch;
+                stage_resume.stage_lr = resumed->stage_lr;
+                stage_resume.opt = &resumed->opt_state;
+                diag = to_diagnostics(resumed->partial);
+            } else {
+                anchor = flow::snapshot_params(*stack);
+            }
 
-            for (std::size_t attempt = 0;; ++attempt) {
+            for (std::size_t attempt = first_attempt;; ++attempt) {
                 const bool last_attempt = attempt >= cfg_.stage_max_retries;
                 const StageOutcome out =
-                    train_stage(m, lr, clip, !last_attempt, diag);
+                    train_stage(m, lr, clip, !last_attempt, diag, attempt,
+                                anchor, stage_resume);
+                stage_resume = StageResume{};  // only the first pass resumes
                 if (!out.diverged || last_attempt) break;
 
-                flow::restore_params(*stack, checkpoint);
+                flow::restore_params(*stack, anchor);
                 stack->tighten_scale_cap(m - 1, cfg_.retry_scale_cap_factor);
                 lr *= cfg_.retry_lr_factor;
                 clip *= cfg_.retry_grad_clip_factor;
@@ -299,24 +496,48 @@ NofisEstimator::RunResult NofisEstimator::run(
                 diag.retry_reasons.emplace_back(out.reason);
             }
             result.stages.push_back(std::move(diag));
+
+            // Stage boundary: durably snapshot "about to run stage m+1"
+            // (m+1 = num_stages+1 means training is done and only the
+            // final IS remains). Honour a pending SIGINT/SIGTERM here —
+            // the in-flight stage finished, the snapshot is on disk, so
+            // stopping now loses no work.
+            if (ckdir) persist(snapshot_base(m + 1));
+            if (checkpoint::stop_requested()) {
+                result.interrupted = true;
+                break;
+            }
         }
     }
 
     // Final importance-sampling estimate with q_MK (Eq. 2), still guarded.
     IsDiagnostics is_diag;
-    EstimateResult est =
-        importance_estimate(*stack, guarded, eng, cfg_.n_is, &is_diag,
-                            cfg_.defensive_weight, cfg_.defensive_sigma);
+    EstimateResult est;
+    if (result.interrupted) {
+        // No final IS was spent; report the g-budget consumed so far and
+        // mark the estimate unusable. A --resume run picks up from the
+        // snapshot written above and spends the final IS exactly once.
+        est.failed = true;
+        est.detail = "interrupted by stop request; resume to continue";
+    } else {
+        est = importance_estimate(*stack, guarded, eng, cfg_.n_is, &is_diag,
+                                  cfg_.defensive_weight,
+                                  cfg_.defensive_sigma);
+    }
     // Honest budget: training calls + fault-retry evaluations on top of the
     // N_IS already counted by importance_estimate. (g_grad rides on the
     // value evaluation under the paper's autograd accounting, so only the
     // value batches count.)
     est.calls += train_g_calls + guarded.report().retry_attempts;
     // Every value arrival at the cache is one of the calls counted above,
-    // so the hit tally on this run's decorator instance IS the cached
-    // share of `calls` (min guards the invariant against future drift).
+    // so the cumulative hit tally (pre-snapshot baseline + this process's
+    // decorator instance) IS the cached share of `calls` (min guards the
+    // invariant against future drift). Restored counters keep the
+    // accounting honest across restarts: fresh calls spent before a crash
+    // are never re-counted as fresh, and fresh + cached == total holds.
     est.cached_calls =
-        cached ? std::min(cached->hits(), est.calls) : std::size_t{0};
+        cached ? std::min(cached_hits_baseline + cached->hits(), est.calls)
+               : std::size_t{0};
 
     RunHealth health;
     health.faults = guarded.report();

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "checkpoint/checkpoint.hpp"
 #include "core/diagnostics.hpp"
 #include "core/levels.hpp"
 #include "estimators/guarded_problem.hpp"
@@ -88,6 +89,13 @@ struct NofisConfig {
     /// registry cases). Empty derives "anon#d<dim>" at run time.
     std::string cache_key;
 
+    // --- crash safety (DESIGN.md, "Checkpoint/resume & crash safety").
+    /// Durable stage/epoch snapshots and resume-from-latest. Disabled by
+    /// default (empty dir). Checkpointing never touches the RNG or the
+    /// math: a checkpointed run, an uncheckpointed run, and a
+    /// killed-and-resumed run all produce bitwise-identical estimates.
+    checkpoint::CheckpointConfig checkpoint;
+
     // --- parallel runtime (DESIGN.md, "Parallel runtime & determinism").
     /// Worker lanes for batched g / g_grad evaluation and the tiled matmul.
     /// 0 = leave the global pool as configured (NOFIS_THREADS env or
@@ -130,6 +138,11 @@ public:
         IsDiagnostics is_diag;
         RunHealth health;  ///< faults, rollbacks, proposal-quality signals
         std::unique_ptr<flow::CouplingStack> flow;  ///< trained model
+        /// True when the run stopped early at a stage boundary because
+        /// checkpoint::stop_requested() (SIGINT/SIGTERM) was set. The final
+        /// snapshot was written; `estimate` is marked failed and no final
+        /// IS was spent. Resume with CheckpointConfig::resume to continue.
+        bool interrupted = false;
     };
     RunResult run(const estimators::RareEventProblem& problem,
                   rng::Engine& eng) const;

@@ -133,6 +133,24 @@ public:
     /// Not for use while a batch is in flight.
     const FaultReport& report() const noexcept { return report_; }
     void reset_report() { report_ = FaultReport{}; }
+
+    /// Complete run state of the guard: the next top-level call index plus
+    /// the fault ledger. Checkpoint snapshots persist this so a resumed run
+    /// re-enters the exact same call-index space — a deterministic fault
+    /// injector keyed on those indices replays the exact same faults, and
+    /// the cumulative FaultReport matches an uninterrupted run
+    /// count-for-count. Not for use while a batch is in flight.
+    struct GuardState {
+        std::size_t call_index = 0;
+        FaultReport report;
+    };
+    GuardState export_state() const {
+        return {call_index_.load(std::memory_order_relaxed), report_};
+    }
+    void import_state(const GuardState& state) {
+        call_index_.store(state.call_index, std::memory_order_relaxed);
+        report_ = state.report;
+    }
     const RareEventProblem& inner() const noexcept { return *inner_; }
 
 private:

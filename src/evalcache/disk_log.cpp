@@ -6,6 +6,9 @@
 #include <map>
 #include <stdexcept>
 
+#include "util/atomic_file.hpp"
+#include "util/io_fault.hpp"
+
 namespace nofis::evalcache {
 
 namespace {
@@ -101,6 +104,21 @@ DiskLog::DiskLog(std::string path, std::string case_key, std::size_t dim)
     open_and_recover();
 }
 
+DiskLog::~DiskLog() {
+    try {
+        if (file_.is_open()) sync();
+    } catch (...) {
+        // Destructor sync is best-effort; the checksummed format makes an
+        // unsynced tail recoverable (truncated) on the next open.
+    }
+}
+
+void DiskLog::sync() {
+    file_.flush();
+    util::fsync_path(path_);
+    appends_since_sync_ = 0;
+}
+
 void DiskLog::write_header() {
     RawHeader h{};
     std::memcpy(h.magic, kMagic, sizeof(kMagic));
@@ -177,22 +195,46 @@ void DiskLog::scan(const std::function<void(std::uint64_t,
 std::uint64_t DiskLog::append(std::span<const double> x, double value) {
     if (x.size() != dim_)
         throw std::invalid_argument("DiskLog::append: dimension mismatch");
-    std::vector<char> payload(payload_bytes());
-    std::memcpy(payload.data(), x.data(), dim_ * 8);
-    std::memcpy(payload.data() + dim_ * 8, &value, 8);
+    std::vector<char> payload(x.size_bytes() + 8);
+    std::memcpy(payload.data(), x.data(), x.size_bytes());
+    std::memcpy(payload.data() + x.size_bytes(), &value, 8);
     const std::uint64_t payload_offset = end_ + 4;
+    // The checksum always covers the TRUE payload; an injected bit-flip
+    // below therefore produces a record that fails verification on read —
+    // exactly what real silent corruption looks like.
+    const std::uint64_t checksum = fnv1a64(payload.data(), payload.size());
+
+    util::IoFault fault = util::IoFault::kNone;
+    if (util::IoFaultInjector* inj = util::io_fault_injector())
+        fault = inj->next_write_fault();
+    if (fault == util::IoFault::kEnospc)
+        throw std::runtime_error("DiskLog: injected ENOSPC on '" + path_ +
+                                 "'");
+    if (fault == util::IoFault::kCorruptBit)
+        payload[0] = static_cast<char>(payload[0] ^ 0x01);
 
     file_.clear();
     file_.seekp(static_cast<std::streamoff>(end_));
     const auto len = static_cast<std::uint32_t>(payload.size());
     write_pod(file_, len);
+    if (fault == util::IoFault::kTornWrite) {
+        // Half the payload reaches the disk, then the "device" fails. The
+        // in-memory end_ stays put, so the next append overwrites the torn
+        // bytes; if the process dies first, open_and_recover truncates.
+        file_.write(payload.data(),
+                    static_cast<std::streamsize>(payload.size() / 2));
+        file_.flush();
+        throw std::runtime_error("DiskLog: injected torn write on '" + path_ +
+                                 "'");
+    }
     file_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    write_pod(file_, fnv1a64(payload.data(), payload.size()));
+    write_pod(file_, checksum);
     file_.flush();
     if (!file_)
         throw std::runtime_error("DiskLog: append to '" + path_ + "' failed");
     end_ += record_bytes();
     ++records_;
+    if (++appends_since_sync_ >= kSyncEvery) sync();
     return payload_offset;
 }
 
@@ -200,6 +242,13 @@ bool DiskLog::read_at(std::uint64_t offset, std::span<double> x_out,
                       double& value) {
     if (x_out.size() != dim_ || offset + payload_bytes() + 8 > end_)
         return false;
+    if (util::IoFaultInjector* inj = util::io_fault_injector()) {
+        const util::IoFault fault = inj->next_read_fault();
+        // Short read and read-side corruption both surface as a failed
+        // record fetch: the caller treats it as a cache miss and
+        // re-evaluates, never as data.
+        if (fault != util::IoFault::kNone) return false;
+    }
     std::vector<char> payload(payload_bytes());
     file_.clear();
     file_.seekg(static_cast<std::streamoff>(offset));
@@ -278,8 +327,13 @@ CompactResult DiskLog::compact(const std::string& path) {
         }
         result.records_after = out.records();
         result.bytes_after = out.valid_bytes();
+        // The replacement must be durable BEFORE it replaces the original:
+        // rename-then-sync could publish a file whose bytes never hit the
+        // platter, losing every record to a crash.
+        out.sync();
     }
     fs::rename(tmp, path);
+    util::fsync_parent_dir(path);
     return result;
 }
 

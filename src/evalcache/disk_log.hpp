@@ -62,13 +62,28 @@ public:
     /// match (wrong magic/version/dim/key).
     DiskLog(std::string path, std::string case_key, std::size_t dim);
 
+    /// Best-effort final sync; never throws.
+    ~DiskLog();
+
     /// Invokes `fn(offset, x, value)` for every intact record, in append
     /// order. Offsets are stable (byte position of the record's payload).
     void scan(const std::function<void(std::uint64_t, std::span<const double>,
                                        double)>& fn);
 
-    /// Appends one record and flushes; returns the payload offset.
+    /// Appends one record and flushes; returns the payload offset. Every
+    /// `kSyncEvery` appends the file is additionally fsynced (bounded-loss
+    /// durability: a power cut costs at most the unsynced tail, which the
+    /// next open truncates at the first torn record). Consults the global
+    /// util::IoFaultInjector, so injected ENOSPC / torn-write / bit-flip
+    /// faults exercise exactly this path.
     std::uint64_t append(std::span<const double> x, double value);
+
+    /// Flushes stream buffers and fsyncs the log file. Throws
+    /// std::runtime_error when the kernel reports the sync failed.
+    void sync();
+
+    /// Appends between automatic fsyncs (see append()).
+    static constexpr std::size_t kSyncEvery = 64;
 
     /// Reads the record whose payload starts at `offset` into x_out/value.
     /// Returns false when the offset is out of range or the record fails
@@ -105,6 +120,7 @@ private:
     std::fstream file_;
     std::uint64_t end_ = 0;      ///< byte offset just past the last record
     std::size_t records_ = 0;
+    std::size_t appends_since_sync_ = 0;
     bool tail_truncated_ = false;
 };
 

@@ -256,11 +256,20 @@ void EvalCache::insert(Namespace ns, std::span<const double> x,
     if (!insert_mem(ns, hash, x, value)) return;
 
     if (state.log) {
-        const std::lock_guard<std::mutex> lock(state.disk_mutex);
-        const std::uint64_t offset = state.log->append(x, value);
-        state.disk_index[hash].push_back(offset);
-        disk_appends_.fetch_add(1, std::memory_order_relaxed);
-        telemetry::count("cache.disk_appends");
+        // A failed append (ENOSPC, torn write — real or injected) must not
+        // poison the computation: the value is already served from tier 1,
+        // so losing the durable copy costs a future cold-start re-eval at
+        // worst. Swallow, count, continue.
+        try {
+            const std::lock_guard<std::mutex> lock(state.disk_mutex);
+            const std::uint64_t offset = state.log->append(x, value);
+            state.disk_index[hash].push_back(offset);
+            disk_appends_.fetch_add(1, std::memory_order_relaxed);
+            telemetry::count("cache.disk_appends");
+        } catch (const std::exception&) {
+            disk_errors_.fetch_add(1, std::memory_order_relaxed);
+            telemetry::count("cache.disk_errors");
+        }
     }
 }
 
@@ -275,6 +284,7 @@ CacheStats EvalCache::stats() const {
     s.entries = entries_.load(std::memory_order_relaxed);
     s.disk_records = disk_records_.load(std::memory_order_relaxed);
     s.disk_appends = disk_appends_.load(std::memory_order_relaxed);
+    s.disk_errors = disk_errors_.load(std::memory_order_relaxed);
     return s;
 }
 

@@ -45,6 +45,10 @@ struct CacheStats {
     std::uint64_t entries = 0;       ///< current tier-1 entry count
     std::uint64_t disk_records = 0;  ///< records indexed across open logs
     std::uint64_t disk_appends = 0;
+    /// Disk-tier append failures (real or injected ENOSPC / torn writes)
+    /// swallowed by insert(): the value stays served from tier 1 and the
+    /// run continues; only durability of that record is lost.
+    std::uint64_t disk_errors = 0;
 
     double hit_rate() const noexcept {
         const std::uint64_t total = hits + misses;
@@ -145,6 +149,7 @@ private:
     std::atomic<std::uint64_t> entries_{0};
     std::atomic<std::uint64_t> disk_records_{0};
     std::atomic<std::uint64_t> disk_appends_{0};
+    std::atomic<std::uint64_t> disk_errors_{0};
 };
 
 }  // namespace nofis::evalcache

@@ -50,7 +50,8 @@ public:
         net_.set_trainable(trainable);
     }
     void scale_cap_multiply(double factor) override { scale_cap_ *= factor; }
-    double scale_cap() const noexcept { return scale_cap_; }
+    double scale_cap() const noexcept override { return scale_cap_; }
+    void set_scale_cap(double cap) override { scale_cap_ = cap; }
 
     std::span<const std::size_t> pass_indices() const noexcept { return idx_a_; }
     std::span<const std::size_t> transform_indices() const noexcept {

@@ -138,6 +138,21 @@ void CouplingStack::freeze_blocks_before(std::size_t upto_block) {
 
 void CouplingStack::unfreeze_all() { freeze_blocks_before(0); }
 
+std::vector<double> CouplingStack::scale_caps() const {
+    std::vector<double> caps;
+    caps.reserve(layers_.size());
+    for (const auto& layer : layers_) caps.push_back(layer->scale_cap());
+    return caps;
+}
+
+void CouplingStack::set_scale_caps(const std::vector<double>& caps) {
+    if (caps.size() != layers_.size())
+        throw std::runtime_error(
+            "CouplingStack::set_scale_caps: layer count mismatch");
+    for (std::size_t i = 0; i < layers_.size(); ++i)
+        layers_[i]->set_scale_cap(caps[i]);
+}
+
 void CouplingStack::tighten_scale_cap(std::size_t block, double factor) {
     if (block >= cfg_.num_blocks)
         throw std::out_of_range("CouplingStack::tighten_scale_cap");

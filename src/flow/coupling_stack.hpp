@@ -107,6 +107,14 @@ public:
     /// couplings from re-exploding on the retried stage.
     void tighten_scale_cap(std::size_t block, double factor);
 
+    /// Per-physical-layer log-scale bounds (0 for layers without one), in
+    /// layer order. Retry-tightened caps are run state the checkpoint
+    /// subsystem persists next to the parameters.
+    std::vector<double> scale_caps() const;
+    /// Restores caps captured by scale_caps() on the same architecture;
+    /// throws std::runtime_error on a layer-count mismatch.
+    void set_scale_caps(const std::vector<double>& caps);
+
     const dist::StandardNormal& base() const noexcept { return base_; }
     const StackConfig& config() const noexcept { return cfg_; }
 

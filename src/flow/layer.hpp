@@ -40,6 +40,14 @@ public:
     /// tighten). Layers without a scale bound ignore it; the stage
     /// rollback-retry path uses this to rein in exploding couplings.
     virtual void scale_cap_multiply(double /*factor*/) {}
+
+    /// Current log-scale bound; 0 for layers without one. Retry-tightened
+    /// caps are run state, so checkpoint snapshots persist them alongside
+    /// the parameters (a resumed run must clamp exactly as the original
+    /// would have).
+    virtual double scale_cap() const noexcept { return 0.0; }
+    /// Restores a captured bound; no-op for layers without one.
+    virtual void set_scale_cap(double /*cap*/) {}
 };
 
 }  // namespace nofis::flow

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.hpp"
 #include "util/ios_guard.hpp"
 
 namespace nofis::flow {
@@ -64,9 +65,11 @@ void save_stack(const CouplingStack& stack, std::ostream& os) {
 }
 
 void save_stack(const CouplingStack& stack, const std::string& path) {
-    std::ofstream os(path);
-    if (!os) fail("cannot open '" + path + "' for writing");
-    save_stack(stack, os);
+    // Atomic replace (temp + fsync + rename): an interrupted or faulted
+    // save can never leave a half-written file where a good proposal was.
+    util::AtomicFile file(path);
+    save_stack(stack, file.stream());
+    file.commit();
 }
 
 CouplingStack load_stack(std::istream& is) {

@@ -2,8 +2,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace nofis::nn {
+
+namespace {
+
+/// Copies exported slot matrices back into live storage, verifying shapes.
+void restore_slots(const char* who, const std::vector<linalg::Matrix>& src,
+                   std::vector<linalg::Matrix>* const* dests,
+                   std::size_t dest_count) {
+    std::size_t expected = 0;
+    for (std::size_t j = 0; j < dest_count; ++j) expected += dests[j]->size();
+    if (src.size() != expected)
+        throw std::runtime_error(std::string(who) +
+                                 ": optimizer state slot count mismatch");
+    std::size_t i = 0;
+    for (std::size_t j = 0; j < dest_count; ++j) {
+        for (auto& dst : *dests[j]) {
+            const auto& s = src[i++];
+            if (s.rows() != dst.rows() || s.cols() != dst.cols())
+                throw std::runtime_error(
+                    std::string(who) + ": optimizer state shape mismatch");
+            dst = s;
+        }
+    }
+}
+
+}  // namespace
+
+void Optimizer::import_state(const OptimizerState& state) {
+    if (state.step_count != 0 || !state.slots.empty())
+        throw std::runtime_error(
+            "Optimizer::import_state: stateless optimizer given a non-empty "
+            "state");
+}
 
 void Optimizer::zero_grad() {
     for (auto& p : params_) p.zero_grad();
@@ -71,6 +104,18 @@ Sgd::Sgd(std::vector<autodiff::Var> params, double lr, double momentum)
         velocity_.emplace_back(p.value().rows(), p.value().cols());
 }
 
+OptimizerState Sgd::export_state() const {
+    OptimizerState s;
+    s.step_count = 0;
+    s.slots = velocity_;
+    return s;
+}
+
+void Sgd::import_state(const OptimizerState& state) {
+    std::vector<linalg::Matrix>* dests[] = {&velocity_};
+    restore_slots("Sgd", state.slots, dests, 1);
+}
+
 void Sgd::step() {
     for (std::size_t i = 0; i < params_.size(); ++i) {
         auto& p = params_[i];
@@ -98,6 +143,21 @@ Adam::Adam(std::vector<autodiff::Var> params, double lr, double beta1,
         m_.emplace_back(p.value().rows(), p.value().cols());
         v_.emplace_back(p.value().rows(), p.value().cols());
     }
+}
+
+OptimizerState Adam::export_state() const {
+    OptimizerState s;
+    s.step_count = t_;
+    s.slots.reserve(m_.size() + v_.size());
+    for (const auto& m : m_) s.slots.push_back(m);
+    for (const auto& v : v_) s.slots.push_back(v);
+    return s;
+}
+
+void Adam::import_state(const OptimizerState& state) {
+    std::vector<linalg::Matrix>* dests[] = {&m_, &v_};
+    restore_slots("Adam", state.slots, dests, 2);
+    t_ = state.step_count;
 }
 
 void Adam::step() {

@@ -19,6 +19,19 @@ enum class GradClipMode {
     kPerValue,
 };
 
+/// Portable snapshot of an optimizer's internal state (step counter plus
+/// per-parameter moment/velocity slots in a documented order). Exporting
+/// and re-importing it into a freshly constructed optimizer over the same
+/// parameter list makes the next step() bitwise identical to never having
+/// torn the optimizer down — the checkpoint/resume subsystem persists this
+/// for mid-stage snapshots.
+struct OptimizerState {
+    long step_count = 0;
+    /// Adam: first moments m then second moments v (2P matrices for P
+    /// params); SGD: momentum velocities (P matrices); base: empty.
+    std::vector<linalg::Matrix> slots;
+};
+
 /// Base optimizer: owns handles to the trainable parameters and updates
 /// their values in place from accumulated gradients.
 ///
@@ -46,6 +59,13 @@ public:
     /// Mode-dispatching clip (see GradClipMode); returns the pre-clip norm.
     double clip_gradients(GradClipMode mode, double limit);
 
+    /// State capture for checkpoint/resume; see OptimizerState. The base
+    /// optimizer is stateless, so the default round-trips an empty state.
+    virtual OptimizerState export_state() const { return {}; }
+    /// Restores a state exported from an optimizer over the same parameter
+    /// list; throws std::runtime_error on a layout mismatch.
+    virtual void import_state(const OptimizerState& state);
+
     std::span<const autodiff::Var> params() const noexcept { return params_; }
 
 protected:
@@ -72,6 +92,9 @@ public:
     Sgd(std::vector<autodiff::Var> params, double lr, double momentum = 0.0);
     void step() override;
 
+    OptimizerState export_state() const override;
+    void import_state(const OptimizerState& state) override;
+
 private:
     double lr_;
     double momentum_;
@@ -88,6 +111,9 @@ public:
 
     double learning_rate() const noexcept { return lr_; }
     void set_learning_rate(double lr) noexcept { lr_ = lr; }
+
+    OptimizerState export_state() const override;
+    void import_state(const OptimizerState& state) override;
 
 private:
     double lr_;

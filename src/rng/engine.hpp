@@ -36,6 +36,19 @@ public:
     /// stream by one draw.
     Engine split() noexcept;
 
+    /// Raw stream position: the four 64-bit state words. Capturing and
+    /// restoring them resumes the stream exactly where it was — the
+    /// checkpoint/resume subsystem persists this so a restarted run draws
+    /// the same sequence an uninterrupted run would have.
+    using State = std::array<std::uint64_t, 4>;
+    State state() const noexcept { return s_; }
+    /// Restores a captured state verbatim. An all-zero state is invalid for
+    /// xoshiro and is nudged to the same guard value the constructor uses.
+    void set_state(const State& s) noexcept {
+        s_ = s;
+        if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+    }
+
 private:
     std::array<std::uint64_t, 4> s_{};
 };

@@ -1,0 +1,120 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/io_fault.hpp"
+
+namespace nofis::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("atomic write: " + what);
+}
+
+int open_readonly(const std::string& path) noexcept {
+    return ::open(path.c_str(), O_RDONLY);
+}
+
+}  // namespace
+
+void fsync_path(const std::string& path) {
+    const int fd = open_readonly(path);
+    if (fd < 0)
+        fail("cannot open '" + path + "' for fsync (" +
+             std::strerror(errno) + ")");
+    const int rc = ::fsync(fd);
+    const int saved = errno;
+    ::close(fd);
+    if (rc != 0)
+        fail("fsync of '" + path + "' failed (" + std::strerror(saved) + ")");
+}
+
+void fsync_parent_dir(const std::string& path) noexcept {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::path parent = fs::path(path).parent_path();
+    if (parent.empty()) parent = ".";
+    const int fd = open_readonly(parent.string());
+    if (fd < 0) return;
+    ::fsync(fd);  // best effort; see header
+    ::close(fd);
+}
+
+void AtomicFile::commit() {
+    namespace fs = std::filesystem;
+    std::string contents = std::move(buffer_).str();
+    buffer_.str(std::string());
+
+    std::size_t persist_bytes = contents.size();
+    if (IoFaultInjector* inj = io_fault_injector()) {
+        switch (inj->next_write_fault()) {
+            case IoFault::kEnospc:
+                fail("injected ENOSPC writing '" + path_ + "'");
+            case IoFault::kTornWrite:
+                // Simulates a crash mid-write that still reached the target:
+                // only a prefix survives, so readers must catch it by
+                // checksum. Half the payload keeps the header readable.
+                persist_bytes = contents.size() / 2;
+                break;
+            case IoFault::kCorruptBit:
+                if (!contents.empty()) {
+                    const std::size_t bit =
+                        (inj->config().seed ^ contents.size()) %
+                        (contents.size() * 8);
+                    contents[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+                }
+                break;
+            case IoFault::kShortRead:
+            case IoFault::kNone:
+                break;
+        }
+    }
+
+    const std::string tmp = path_ + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) fail("cannot create temp file '" + tmp + "'");
+        os.write(contents.data(),
+                 static_cast<std::streamsize>(persist_bytes));
+        os.flush();
+        if (!os) {
+            os.close();
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            fail("write to temp file '" + tmp + "' failed");
+        }
+    }
+    try {
+        fsync_path(tmp);
+    } catch (...) {
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        throw;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path_, ec);
+    if (ec) {
+        std::error_code ec2;
+        fs::remove(tmp, ec2);
+        fail("rename '" + tmp + "' -> '" + path_ + "' failed (" +
+             ec.message() + ")");
+    }
+    fsync_parent_dir(path_);
+}
+
+void atomic_write_file(const std::string& path, std::string_view contents) {
+    AtomicFile file(path);
+    file.stream().write(contents.data(),
+                        static_cast<std::streamsize>(contents.size()));
+    file.commit();
+}
+
+}  // namespace nofis::util

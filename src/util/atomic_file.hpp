@@ -1,0 +1,57 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace nofis::util {
+
+/// fsyncs the file at `path` (opens a descriptor, fsyncs, closes). The data
+/// must already be flushed to the kernel (stream flush / close); this pushes
+/// it to stable storage. Throws std::runtime_error when the file cannot be
+/// opened or the fsync fails.
+void fsync_path(const std::string& path);
+
+/// Best-effort fsync of `path`'s parent directory, making a just-renamed
+/// entry durable. Failures are swallowed: some filesystems reject directory
+/// fsync, and a missed directory sync degrades to "rename may be lost on
+/// power cut" — never to a torn file.
+void fsync_parent_dir(const std::string& path) noexcept;
+
+/// All-or-nothing file replacement: buffer the contents in memory, then
+/// commit() writes them to a temp file in the target's directory, fsyncs,
+/// renames over the target, and fsyncs the directory. A crash at any point
+/// leaves either the old file or the new one — never a truncated mix; an
+/// abandoned AtomicFile (no commit) leaves the target untouched.
+///
+/// Consults the global util::io_fault_injector() on commit:
+///   kEnospc     — throws before anything reaches the target; the previous
+///                 file survives and no temp file is left behind.
+///   kTornWrite  — persists only a prefix (simulating a crash mid-write
+///                 followed by the rename), so readers must detect the
+///                 damage by checksum.
+///   kCorruptBit — flips one payload bit before writing.
+class AtomicFile {
+public:
+    explicit AtomicFile(std::string path) : path_(std::move(path)) {}
+
+    /// In-memory buffer; write the new contents here.
+    std::ostream& stream() noexcept { return buffer_; }
+
+    /// Durably replaces the target with the buffered contents. Throws
+    /// std::runtime_error on any I/O failure (injected or real); the target
+    /// is untouched unless the rename happened.
+    void commit();
+
+    const std::string& path() const noexcept { return path_; }
+
+private:
+    std::string path_;
+    std::ostringstream buffer_;
+};
+
+/// One-shot convenience: atomic_write_file(p, s) == AtomicFile(p) << s,
+/// commit().
+void atomic_write_file(const std::string& path, std::string_view contents);
+
+}  // namespace nofis::util
