@@ -44,8 +44,10 @@
 //       every response is ok, 1 otherwise.
 //
 // Every command accepts --threads N to size the parallel evaluation pool
-// (0 / absent = NOFIS_THREADS env or hardware concurrency). Output is
-// bitwise identical for any thread count; the flag only changes wall-clock
+// (0 / absent = NOFIS_THREADS env or hardware concurrency) and
+// --kernels auto|scalar|simd to pick the numeric kernel flavour (absent =
+// NOFIS_KERNELS env, then auto = simd). Output is bitwise identical for any
+// thread count and either kernel flavour; both flags only change wall-clock
 // time.
 //
 //   nofis_cli cache-info --cache-dir DIR
@@ -537,7 +539,8 @@ void usage() {
         stderr,
         "usage: nofis_cli <list|estimate|levels|train|run|reuse|info|serve"
         "|query|cache-info|cache-compact>"
-        " [options] [--threads N] [--metrics-out FILE.json]\n"
+        " [options] [--threads N] [--kernels auto|scalar|simd]"
+        " [--metrics-out FILE.json]\n"
         "(see the header of apps/nofis_cli.cpp)\n");
 }
 
@@ -549,6 +552,7 @@ int main(int argc, char** argv) {
         return 1;
     }
     apply_threads_flag(argc, argv);
+    apply_kernels_flag(argc, argv);
     MetricsSession metrics(argc, argv);
     const std::string cmd = argv[1];
     int rc = -1;

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
     using namespace nofis::bench;
 
     apply_threads_flag(argc, argv);
+    apply_kernels_flag(argc, argv);
     MetricsSession metrics(argc, argv);
 
     const auto repeats = size_flag(argc, argv, "--repeats", "3");

@@ -16,6 +16,7 @@
 #include "core/nofis.hpp"
 #include "evalcache/cached_problem.hpp"
 #include "evalcache/eval_cache.hpp"
+#include "linalg/kernels/kernels.hpp"
 #include "parallel/thread_pool.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/atomic_file.hpp"
@@ -239,6 +240,25 @@ inline double double_flag(int argc, char** argv, const char* name,
 inline void apply_threads_flag(int argc, char** argv) {
     const auto threads = size_flag(argc, argv, "--threads", "0");
     if (threads > 0) parallel::set_num_threads(threads);
+}
+
+/// Applies a "--kernels auto|scalar|simd" flag (absent = NOFIS_KERNELS env,
+/// then auto). Like --threads the choice never changes results — scalar and
+/// simd kernels are bitwise identical (DESIGN.md §13) — only wall-clock.
+/// A malformed value is a hard error with exit code 2.
+inline void apply_kernels_flag(int argc, char** argv) {
+    const std::string raw = arg_value(argc, argv, "--kernels", "");
+    if (raw.empty()) return;
+    const auto choice = linalg::kernels::parse_choice(raw);
+    if (!choice) {
+        std::fprintf(
+            stderr,
+            "error: invalid value '%s' for --kernels (expected auto, scalar "
+            "or simd)\n",
+            raw.c_str());
+        std::exit(2);
+    }
+    linalg::kernels::set_choice(*choice);
 }
 
 /// Builds the shared g-evaluation cache from `--cache-mem-mb N` (in-memory

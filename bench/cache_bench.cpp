@@ -37,6 +37,7 @@ double seconds_since(Clock::time_point t0) {
 
 int main(int argc, char** argv) {
     apply_threads_flag(argc, argv);
+    apply_kernels_flag(argc, argv);
     MetricsSession metrics(argc, argv);
 
     const auto methods =

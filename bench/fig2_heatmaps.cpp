@@ -99,6 +99,7 @@ int main(int argc, char** argv) {
     using namespace nofis::bench;
 
     apply_threads_flag(argc, argv);
+    apply_kernels_flag(argc, argv);
     MetricsSession metrics(argc, argv);
     const std::string out_dir = arg_value(argc, argv, "--out", "fig2_out");
     const auto grid = size_flag(argc, argv, "--grid", "120");

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
     using namespace nofis::bench;
 
     apply_threads_flag(argc, argv);
+    apply_kernels_flag(argc, argv);
     MetricsSession metrics(argc, argv);
     const auto epochs = size_flag(argc, argv, "--epochs", "200");
     const std::string out = arg_value(argc, argv, "--out", "fig3_loss.csv");

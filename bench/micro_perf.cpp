@@ -5,11 +5,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "autodiff/ops.hpp"
 #include "circuit/ac.hpp"
 #include "circuit/charge_pump.hpp"
 #include "circuit/opamp.hpp"
 #include "estimators/problem.hpp"
 #include "flow/coupling_stack.hpp"
+#include "linalg/kernels/kernels.hpp"
 #include "linalg/lu.hpp"
 #include "parallel/thread_pool.hpp"
 #include "photonic/ybranch.hpp"
@@ -20,10 +22,20 @@ namespace {
 
 using namespace nofis;
 
+/// Kernel-variant benches take the flavour as range arg: 0 = scalar
+/// (reference kernels + legacy tape inference), 1 = simd (fused +
+/// vectorized). Results are bitwise identical; the ratio is the PR's
+/// speedup claim.
+void apply_kernel_arg(std::int64_t arg) {
+    linalg::kernels::set_choice(arg == 0 ? linalg::kernels::Choice::kScalar
+                                         : linalg::kernels::Choice::kSimd);
+}
+
 void BM_MatMul(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));
-    // Pinned to one lane so the serial-kernel numbers stay comparable
-    // across runs; BM_MatMulThreaded measures the parallel scaling.
+    apply_kernel_arg(state.range(1));
+    // Pinned to one lane so the kernel numbers stay comparable across
+    // runs; BM_MatMulThreaded measures the parallel scaling.
     parallel::set_num_threads(1);
     rng::Engine eng(1);
     const auto a = rng::standard_normal_matrix(eng, n, n);
@@ -31,7 +43,66 @@ void BM_MatMul(benchmark::State& state) {
     for (auto _ : state) benchmark::DoNotOptimize(a.matmul(b));
     state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({128, 0})
+    ->Args({128, 1});
+
+// One full training epoch of the final NOFIS block, shaped like the
+// NofisEstimator loop under freeze_previous: frozen blocks transport the
+// batch on the pure-value path, the trained block builds the autodiff
+// graph, and the loss backward-sweeps it. Under `simd` the frozen
+// transport runs the fused tape-free kernels; under `scalar` it takes the
+// legacy Var round-trip — the ratio is the train-epoch speedup claim.
+void BM_TrainEpoch(benchmark::State& state) {
+    apply_kernel_arg(state.range(0));
+    parallel::set_num_threads(1);
+    rng::Engine eng(11);
+    flow::StackConfig cfg;
+    cfg.dim = 16;
+    cfg.num_blocks = 5;
+    cfg.layers_per_block = 8;
+    flow::CouplingStack stack(cfg, eng);
+    rng::Engine batch_eng(42);
+    const auto z0 = rng::standard_normal_matrix(batch_eng, 256, cfg.dim);
+    std::vector<double> ld(z0.rows());
+    for (auto _ : state) {
+        std::fill(ld.begin(), ld.end(), 0.0);
+        const auto z_in = stack.transport_range(z0, 0, 4, ld);
+        auto fwd = stack.forward_range(autodiff::Var(z_in), 4, 5);
+        auto loss = autodiff::neg(autodiff::mean(fwd.log_det));
+        loss.backward();
+        benchmark::DoNotOptimize(loss.value());
+        for (auto& p : stack.params()) p.zero_grad();
+    }
+    state.SetItemsProcessed(state.iterations() * z0.rows());
+}
+BENCHMARK(BM_TrainEpoch)->Arg(0)->Arg(1);
+
+// The serving hot path in isolation: batched transport through the whole
+// stack on the value path (what sample/log_prob/IS reweighting run).
+void BM_TransportValues(benchmark::State& state) {
+    apply_kernel_arg(state.range(0));
+    parallel::set_num_threads(1);
+    rng::Engine eng(12);
+    flow::StackConfig cfg;
+    cfg.dim = 16;
+    cfg.num_blocks = 5;
+    cfg.layers_per_block = 8;
+    flow::CouplingStack stack(cfg, eng);
+    rng::Engine batch_eng(43);
+    const auto z0 = rng::standard_normal_matrix(batch_eng, 256, cfg.dim);
+    std::vector<double> ld(z0.rows());
+    for (auto _ : state) {
+        std::fill(ld.begin(), ld.end(), 0.0);
+        benchmark::DoNotOptimize(stack.transport_range(z0, 0, 5, ld));
+    }
+    state.SetItemsProcessed(state.iterations() * z0.rows());
+}
+BENCHMARK(BM_TransportValues)->Arg(0)->Arg(1);
 
 void BM_MatMulThreaded(benchmark::State& state) {
     const auto n = static_cast<std::size_t>(state.range(0));

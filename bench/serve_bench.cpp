@@ -84,6 +84,7 @@ int main(int argc, char** argv) {
 
     bench::MetricsSession metrics(argc, argv);
     bench::apply_threads_flag(argc, argv);
+    bench::apply_kernels_flag(argc, argv);
 
     const std::size_t clients = size_flag(argc, argv, "--clients", "8");
     const std::size_t requests = size_flag(argc, argv, "--requests", "500");
@@ -138,9 +139,10 @@ int main(int argc, char** argv) {
     const double rows_per_sec = rps * static_cast<double>(rows);
     std::printf(
         "serve_bench: clients=%zu requests=%zu rows=%zu window=%zu "
-        "max_batch_rows=%zu threads=%zu\n",
+        "max_batch_rows=%zu threads=%zu kernels=%s backend=%s\n",
         clients, requests, rows, window, scheduler.config().max_batch_rows,
-        parallel::num_threads());
+        parallel::num_threads(), linalg::kernels::choice_name(),
+        linalg::kernels::simd_backend());
     std::printf("serve_bench: ok=%zu failed=%zu wall=%.3fs\n", total.ok,
                 total.failed, seconds);
     std::printf("serve_bench: throughput=%.0f req/s (%.0f rows/s)\n", rps,

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
     using namespace nofis::bench;
 
     apply_threads_flag(argc, argv);
+    apply_kernels_flag(argc, argv);
     MetricsSession metrics(argc, argv);
     const auto case_names =
         split_csv(arg_value(argc, argv, "--cases",

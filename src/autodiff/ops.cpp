@@ -3,6 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/kernels/kernels.hpp"
+#include "linalg/kernels/scalar_math.hpp"
+
 namespace nofis::autodiff {
 
 namespace {
@@ -116,16 +119,15 @@ Var add_const(const Var& a, double c) {
 
 Var tanh_v(const Var& a) {
     auto pa = a.node();
-    Matrix y = a.value().map([](double v) { return std::tanh(v); });
+    Matrix y(a.rows(), a.cols());
+    linalg::kernels::ew_tanh(a.value().data(), y.data(), y.size());
     auto node = std::make_shared<Node>(std::move(y), pa->requires_grad);
     node->parents = {pa};
     if (node->requires_grad) {
         node->backward = [pa](Node& self) {
             Matrix d(self.value.rows(), self.value.cols());
-            for (std::size_t i = 0; i < d.size(); ++i) {
-                const double t = self.value.flat()[i];
-                d.flat()[i] = self.grad.flat()[i] * (1.0 - t * t);
-            }
+            linalg::kernels::ew_tanh_bwd(self.value.data(), self.grad.data(),
+                                         d.data(), d.size());
             accumulate(*pa, d);
         };
     }
@@ -134,8 +136,9 @@ Var tanh_v(const Var& a) {
 
 Var sigmoid_v(const Var& a) {
     auto pa = a.node();
-    Matrix y = a.value().map(
-        [](double v) { return 1.0 / (1.0 + std::exp(-v)); });
+    // Same k_sigmoid as the fused kernels so the tape and value paths
+    // agree bitwise regardless of kernel flavour.
+    Matrix y = a.value().map(linalg::kernels::k_sigmoid);
     auto node = std::make_shared<Node>(std::move(y), pa->requires_grad);
     node->parents = {pa};
     if (node->requires_grad) {
@@ -176,7 +179,8 @@ Var leaky_relu_v(const Var& a, double slope) {
 
 Var exp_v(const Var& a) {
     auto pa = a.node();
-    Matrix y = a.value().map([](double v) { return std::exp(v); });
+    Matrix y(a.rows(), a.cols());
+    linalg::kernels::ew_exp(a.value().data(), y.data(), y.size());
     auto node = std::make_shared<Node>(std::move(y), pa->requires_grad);
     node->parents = {pa};
     if (node->requires_grad) {

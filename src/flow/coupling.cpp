@@ -1,12 +1,22 @@
 #include "flow/coupling.hpp"
 
-#include <cmath>
 #include <numeric>
 #include <stdexcept>
+
+#include "linalg/kernels/kernels.hpp"
+#include "linalg/kernels/scalar_math.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace nofis::flow {
 
 namespace {
+
+namespace kernels = linalg::kernels;
+
+/// Transformed elements below this count run inline; each element costs a
+/// tanh + exp, so the bar is much lower than the matmul threshold.
+constexpr std::size_t kParallelAffineMinElems = 1u << 12;
+
 std::vector<std::size_t> make_hidden_layout(std::size_t in,
                                             std::vector<std::size_t> hidden,
                                             std::size_t out) {
@@ -75,7 +85,7 @@ void AffineCoupling::conditioner_values(const linalg::Matrix& xa,
     t = linalg::Matrix(h.rows(), nb);
     for (std::size_t r = 0; r < h.rows(); ++r)
         for (std::size_t c = 0; c < nb; ++c) {
-            s(r, c) = scale_cap_ * std::tanh(h(r, c));
+            s(r, c) = scale_cap_ * kernels::k_tanh(h(r, c));
             t(r, c) = h(r, c + nb);
         }
 }
@@ -87,6 +97,25 @@ linalg::Matrix AffineCoupling::forward_values(
     if (log_det.size() != x.rows())
         throw std::invalid_argument("AffineCoupling::forward_values: log_det");
 
+    const std::size_t nb = idx_b_.size();
+    if (kernels::simd_active()) {
+        // Fused path: the raw conditioner output h feeds affine_fwd_rows
+        // directly — no s/t temporaries, tanh/exp applied in the same order
+        // as the reference loop so results stay bitwise identical.
+        const linalg::Matrix h = net_.predict(x.select_cols(idx_a_));
+        linalg::Matrix y = x;
+        auto row_range = [&](std::size_t r0, std::size_t r1) {
+            kernels::affine_fwd_rows(x.data(), h.data(), idx_b_.data(), nb,
+                                     scale_cap_, dim_, y.data(),
+                                     log_det.data(), r0, r1);
+        };
+        if (x.rows() * nb >= kParallelAffineMinElems)
+            parallel::parallel_for(x.rows(), row_range);
+        else
+            row_range(0, x.rows());
+        return y;
+    }
+
     linalg::Matrix s;
     linalg::Matrix t;
     conditioner_values(x.select_cols(idx_a_), s, t);
@@ -96,7 +125,7 @@ linalg::Matrix AffineCoupling::forward_values(
         double ld = 0.0;
         for (std::size_t j = 0; j < idx_b_.size(); ++j) {
             const std::size_t c = idx_b_[j];
-            y(r, c) = x(r, c) * std::exp(s(r, j)) + t(r, j);
+            y(r, c) = x(r, c) * kernels::k_exp(s(r, j)) + t(r, j);
             ld += s(r, j);
         }
         log_det[r] += ld;
@@ -112,6 +141,22 @@ linalg::Matrix AffineCoupling::inverse_values(
         throw std::invalid_argument("AffineCoupling::inverse_values: log_det");
 
     // y_A == x_A, so the conditioner sees the same input as in forward.
+    const std::size_t nb = idx_b_.size();
+    if (kernels::simd_active()) {
+        const linalg::Matrix h = net_.predict(y.select_cols(idx_a_));
+        linalg::Matrix x = y;
+        auto row_range = [&](std::size_t r0, std::size_t r1) {
+            kernels::affine_inv_rows(y.data(), h.data(), idx_b_.data(), nb,
+                                     scale_cap_, dim_, x.data(),
+                                     log_det.data(), r0, r1);
+        };
+        if (y.rows() * nb >= kParallelAffineMinElems)
+            parallel::parallel_for(y.rows(), row_range);
+        else
+            row_range(0, y.rows());
+        return x;
+    }
+
     linalg::Matrix s;
     linalg::Matrix t;
     conditioner_values(y.select_cols(idx_a_), s, t);
@@ -121,7 +166,7 @@ linalg::Matrix AffineCoupling::inverse_values(
         double ld = 0.0;
         for (std::size_t j = 0; j < idx_b_.size(); ++j) {
             const std::size_t c = idx_b_[j];
-            x(r, c) = (y(r, c) - t(r, j)) * std::exp(-s(r, j));
+            x(r, c) = (y(r, c) - t(r, j)) * kernels::k_exp(-s(r, j));
             ld += s(r, j);
         }
         log_det[r] += ld;

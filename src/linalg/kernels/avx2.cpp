@@ -1,0 +1,384 @@
+// AVX2 intrinsic kernels (x86-64). This TU is compiled with -mavx2 and
+// -ffp-contract=off; every other TU stays on the baseline ISA, and the
+// functions here are only ever reached after a runtime
+// __builtin_cpu_supports("avx2") check in avx2_table().
+//
+// Bitwise contract: no FMA is ever emitted (-mavx2 without -mfma makes
+// contraction impossible), and each output element accumulates its k-terms
+// in the same ascending order as the scalar reference, so results
+// (including NaN/Inf propagation) are bit-identical to the scalar kernels.
+// tanh/exp/sigmoid use the 4-lane mirrors in avx2_math.hpp of the
+// deterministic scalar ports in scalar_math.hpp — the one place where
+// "same math" required owning the math instead of calling libm.
+
+#include "linalg/kernels/table.hpp"
+
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+#include "linalg/kernels/avx2_math.hpp"
+
+namespace nofis::linalg::kernels::detail {
+
+namespace {
+
+/// Lane mask for a partial (1–3 column) vector tail: lane u active iff
+/// u < rem.
+inline __m256i tail_mask(std::size_t rem) {
+    return _mm256_set_epi64x(rem > 3 ? -1 : 0, rem > 2 ? -1 : 0,
+                             rem > 1 ? -1 : 0, -1);
+}
+
+/// Accumulates one output-row column block entirely in registers:
+/// acc[m] (+)= Σ_k lhs_row[k] · rhs[k, j0 + 4m .. j0 + 4m + 3], k strictly
+/// ascending. NR is the register-block width (NR × 4 columns); holding the
+/// accumulators across the whole k loop removes the per-k reload/spill of
+/// the output row that dominated the small-matrix profile. The per-element
+/// operation chain — ((acc + a0·w0) + a1·w1) + … — is the scalar
+/// reference's exactly.
+template <int NR>
+void accum_row_block(const double* lhs_row, const double* rhs, std::size_t k,
+                     std::size_t n, std::size_t j0, __m256d* acc) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const __m256d va = _mm256_set1_pd(lhs_row[kk]);
+        const double* rp = rhs + kk * n + j0;
+        for (int m = 0; m < NR; ++m)
+            acc[m] = _mm256_add_pd(
+                acc[m], _mm256_mul_pd(va, _mm256_loadu_pd(rp + 4 * m)));
+    }
+}
+
+void matmul_rows_avx2(const double* lhs, const double* rhs, double* out,
+                      std::size_t r0, std::size_t r1, std::size_t k,
+                      std::size_t n) {
+    for (std::size_t i = r0; i < r1; ++i) {
+        double* out_row = out + i * n;
+        const double* lhs_row = lhs + i * k;
+        std::size_t j = 0;
+        for (; j + 16 <= n; j += 16) {
+            __m256d acc[4] = {_mm256_loadu_pd(out_row + j),
+                              _mm256_loadu_pd(out_row + j + 4),
+                              _mm256_loadu_pd(out_row + j + 8),
+                              _mm256_loadu_pd(out_row + j + 12)};
+            accum_row_block<4>(lhs_row, rhs, k, n, j, acc);
+            _mm256_storeu_pd(out_row + j, acc[0]);
+            _mm256_storeu_pd(out_row + j + 4, acc[1]);
+            _mm256_storeu_pd(out_row + j + 8, acc[2]);
+            _mm256_storeu_pd(out_row + j + 12, acc[3]);
+        }
+        for (; j + 4 <= n; j += 4) {
+            __m256d acc[1] = {_mm256_loadu_pd(out_row + j)};
+            accum_row_block<1>(lhs_row, rhs, k, n, j, acc);
+            _mm256_storeu_pd(out_row + j, acc[0]);
+        }
+        if (j < n) {
+            // Masked tail: inactive lanes load 0.0, compute garbage, and are
+            // never stored; active lanes run the identical ascending chain.
+            const __m256i mask = tail_mask(n - j);
+            __m256d acc = _mm256_maskload_pd(out_row + j, mask);
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                const __m256d va = _mm256_set1_pd(lhs_row[kk]);
+                const __m256d wv = _mm256_maskload_pd(rhs + kk * n + j, mask);
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(va, wv));
+            }
+            _mm256_maskstore_pd(out_row + j, mask, acc);
+        }
+    }
+}
+
+void ew_add_avx2(const double* a, const double* b, double* out,
+                 std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(a + i),
+                                                _mm256_loadu_pd(b + i)));
+    for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void ew_sub_avx2(const double* a, const double* b, double* out,
+                 std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_pd(out + i, _mm256_sub_pd(_mm256_loadu_pd(a + i),
+                                                _mm256_loadu_pd(b + i)));
+    for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void ew_mul_avx2(const double* a, const double* b, double* out,
+                 std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_pd(out + i, _mm256_mul_pd(_mm256_loadu_pd(a + i),
+                                                _mm256_loadu_pd(b + i)));
+    for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void ew_scale_avx2(const double* a, double s, double* out, std::size_t n) {
+    const __m256d vs = _mm256_set1_pd(s);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_pd(out + i, _mm256_mul_pd(_mm256_loadu_pd(a + i), vs));
+    for (; i < n; ++i) out[i] = a[i] * s;
+}
+
+void ew_tanh_bwd_avx2(const double* y, const double* g, double* out,
+                      std::size_t n) {
+    const __m256d one = _mm256_set1_pd(1.0);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d vy = _mm256_loadu_pd(y + i);
+        const __m256d d = _mm256_sub_pd(one, _mm256_mul_pd(vy, vy));
+        _mm256_storeu_pd(out + i, _mm256_mul_pd(_mm256_loadu_pd(g + i), d));
+    }
+    for (; i < n; ++i) out[i] = g[i] * (1.0 - y[i] * y[i]);
+}
+
+void ew_tanh_avx2(const double* a, double* out, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_pd(out + i, avx2::ktanh4(_mm256_loadu_pd(a + i)));
+    for (; i < n; ++i) out[i] = k_tanh(a[i]);
+}
+
+void ew_exp_avx2(const double* a, double* out, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_pd(out + i, avx2::kexp4(_mm256_loadu_pd(a + i)));
+    for (; i < n; ++i) out[i] = k_exp(a[i]);
+}
+
+/// 4-lane activation on v = y + b. Lane-wise bitwise identical to the
+/// scalar k_* twins by construction.
+__m256d apply_act4(__m256d v, Act act) {
+    switch (act) {
+        case Act::kNone:
+            return v;
+        case Act::kTanh:
+            return avx2::ktanh4(v);
+        case Act::kRelu:
+            // max(v, 0) == (v > 0 ? v : 0); NaN lanes take 0 like the
+            // scalar ternary.
+            return _mm256_max_pd(v, _mm256_setzero_pd());
+        case Act::kLeakyRelu: {
+            const __m256d leak = _mm256_mul_pd(_mm256_set1_pd(0.01), v);
+            const __m256d pos =
+                _mm256_cmp_pd(v, _mm256_setzero_pd(), _CMP_GT_OQ);
+            return _mm256_blendv_pd(leak, v, pos);
+        }
+        case Act::kSigmoid:
+            return avx2::ksigmoid4(v);
+    }
+    return v;
+}
+
+void linear_act_rows_avx2(const double* x, const double* w, const double* b,
+                          double* y, std::size_t r0, std::size_t r1,
+                          std::size_t in, std::size_t out, Act act) {
+    for (std::size_t i = r0; i < r1; ++i) {
+        const double* x_row = x + i * in;
+        double* y_row = y + i * out;
+        std::size_t j = 0;
+        for (; j + 16 <= out; j += 16) {
+            const __m256d z = _mm256_setzero_pd();
+            __m256d acc[4] = {z, z, z, z};
+            accum_row_block<4>(x_row, w, in, out, j, acc);
+            for (int m = 0; m < 4; ++m) {
+                const __m256d v =
+                    _mm256_add_pd(acc[m], _mm256_loadu_pd(b + j + 4 * m));
+                _mm256_storeu_pd(y_row + j + 4 * m, apply_act4(v, act));
+            }
+        }
+        for (; j + 4 <= out; j += 4) {
+            __m256d acc[1] = {_mm256_setzero_pd()};
+            accum_row_block<1>(x_row, w, in, out, j, acc);
+            const __m256d v = _mm256_add_pd(acc[0], _mm256_loadu_pd(b + j));
+            _mm256_storeu_pd(y_row + j, apply_act4(v, act));
+        }
+        if (j < out) {
+            // Masked tail (see matmul_rows_avx2): active lanes are bitwise
+            // the full-vector computation, inactive lanes never stored.
+            const __m256i mask = tail_mask(out - j);
+            __m256d acc = _mm256_setzero_pd();
+            for (std::size_t kk = 0; kk < in; ++kk) {
+                const __m256d va = _mm256_set1_pd(x_row[kk]);
+                const __m256d wv = _mm256_maskload_pd(w + kk * out + j, mask);
+                acc = _mm256_add_pd(acc, _mm256_mul_pd(va, wv));
+            }
+            const __m256d v =
+                _mm256_add_pd(acc, _mm256_maskload_pd(b + j, mask));
+            _mm256_maskstore_pd(y_row + j, mask, apply_act4(v, act));
+        }
+    }
+}
+
+// The affine kernels vectorize the expensive part — tanh/exp over four
+// conditioner columns at once — and keep the idx_b gather/scatter and the
+// ascending-j log-det accumulation scalar, exactly ordered as the
+// reference. When nb < 4 (low-dimensional flows: nb = dim/2) the column
+// loop has no full vector, so a second path vectorizes across four ROWS
+// instead — lanes are independent rows, so each element's bits are
+// unchanged, and each row's log-det still accumulates in ascending j.
+void affine_narrow_rows4(const double* x, const double* h,
+                       const std::size_t* idx_b, std::size_t nb,
+                       double scale_cap, std::size_t dim, double* y,
+                       double* log_det, std::size_t r, bool inverse) {
+    const __m256d cap = _mm256_set1_pd(scale_cap);
+    const __m256d signmask = _mm256_set1_pd(-0.0);
+    const std::size_t stride = 2 * nb;
+    const double* h0 = h + r * stride;
+    double ld[4] = {0.0, 0.0, 0.0, 0.0};
+    for (std::size_t j = 0; j < nb; ++j) {
+        const __m256d hv =
+            _mm256_set_pd(h0[3 * stride + j], h0[2 * stride + j],
+                          h0[stride + j], h0[j]);
+        const __m256d s = _mm256_mul_pd(cap, avx2::ktanh4(hv));
+        const __m256d es =
+            avx2::kexp4(inverse ? _mm256_xor_pd(s, signmask) : s);
+        alignas(32) double sb[4];
+        alignas(32) double eb[4];
+        _mm256_store_pd(sb, s);
+        _mm256_store_pd(eb, es);
+        const std::size_t c = idx_b[j];
+        for (int u = 0; u < 4; ++u) {
+            const double t = h0[u * stride + j + nb];
+            const std::size_t at = (r + u) * dim + c;
+            y[at] = inverse ? (x[at] - t) * eb[u] : x[at] * eb[u] + t;
+            ld[u] += sb[u];
+        }
+    }
+    for (int u = 0; u < 4; ++u) log_det[r + u] += ld[u];
+}
+
+void affine_fwd_rows_avx2(const double* x, const double* h,
+                          const std::size_t* idx_b, std::size_t nb,
+                          double scale_cap, std::size_t dim, double* y,
+                          double* log_det, std::size_t r0, std::size_t r1) {
+    const __m256d cap = _mm256_set1_pd(scale_cap);
+    std::size_t rr = r0;
+    if (nb < 4) {
+        for (; rr + 4 <= r1; rr += 4)
+            affine_narrow_rows4(x, h, idx_b, nb, scale_cap, dim, y, log_det,
+                              rr, /*inverse=*/false);
+    }
+    for (std::size_t r = rr; r < r1; ++r) {
+        const double* h_row = h + r * (2 * nb);
+        double ld = 0.0;
+        std::size_t j = 0;
+        for (; j + 4 <= nb; j += 4) {
+            const __m256d s =
+                _mm256_mul_pd(cap, avx2::ktanh4(_mm256_loadu_pd(h_row + j)));
+            const __m256d es = avx2::kexp4(s);
+            alignas(32) double sb[4];
+            alignas(32) double eb[4];
+            _mm256_store_pd(sb, s);
+            _mm256_store_pd(eb, es);
+            for (int u = 0; u < 4; ++u) {
+                const double t = h_row[j + u + nb];
+                const std::size_t c = idx_b[j + u];
+                y[r * dim + c] = x[r * dim + c] * eb[u] + t;
+                ld += sb[u];
+            }
+        }
+        for (; j < nb; ++j) {
+            const double s = scale_cap * k_tanh(h_row[j]);
+            const double t = h_row[j + nb];
+            const std::size_t c = idx_b[j];
+            y[r * dim + c] = x[r * dim + c] * k_exp(s) + t;
+            ld += s;
+        }
+        log_det[r] += ld;
+    }
+}
+
+void affine_inv_rows_avx2(const double* y, const double* h,
+                          const std::size_t* idx_b, std::size_t nb,
+                          double scale_cap, std::size_t dim, double* x,
+                          double* log_det, std::size_t r0, std::size_t r1) {
+    const __m256d cap = _mm256_set1_pd(scale_cap);
+    const __m256d signmask = _mm256_set1_pd(-0.0);
+    std::size_t rr = r0;
+    if (nb < 4) {
+        for (; rr + 4 <= r1; rr += 4)
+            affine_narrow_rows4(y, h, idx_b, nb, scale_cap, dim, x, log_det,
+                              rr, /*inverse=*/true);
+    }
+    for (std::size_t r = rr; r < r1; ++r) {
+        const double* h_row = h + r * (2 * nb);
+        double ld = 0.0;
+        std::size_t j = 0;
+        for (; j + 4 <= nb; j += 4) {
+            const __m256d s =
+                _mm256_mul_pd(cap, avx2::ktanh4(_mm256_loadu_pd(h_row + j)));
+            const __m256d es = avx2::kexp4(_mm256_xor_pd(s, signmask));
+            alignas(32) double sb[4];
+            alignas(32) double eb[4];
+            _mm256_store_pd(sb, s);
+            _mm256_store_pd(eb, es);
+            for (int u = 0; u < 4; ++u) {
+                const double t = h_row[j + u + nb];
+                const std::size_t c = idx_b[j + u];
+                x[r * dim + c] = (y[r * dim + c] - t) * eb[u];
+                ld += sb[u];
+            }
+        }
+        for (; j < nb; ++j) {
+            const double s = scale_cap * k_tanh(h_row[j]);
+            const double t = h_row[j + nb];
+            const std::size_t c = idx_b[j];
+            x[r * dim + c] = (y[r * dim + c] - t) * k_exp(-s);
+            ld += s;
+        }
+        log_det[r] += ld;
+    }
+}
+
+void scale_shift_rows_avx2(const double* x, const double* scale,
+                           const double* shift, double* y, std::size_t dim,
+                           std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+        const double* x_row = x + r * dim;
+        double* y_row = y + r * dim;
+        std::size_t c = 0;
+        for (; c + 4 <= dim; c += 4)
+            _mm256_storeu_pd(
+                y_row + c,
+                _mm256_add_pd(_mm256_mul_pd(_mm256_loadu_pd(x_row + c),
+                                            _mm256_loadu_pd(scale + c)),
+                              _mm256_loadu_pd(shift + c)));
+        for (; c < dim; ++c) y_row[c] = x_row[c] * scale[c] + shift[c];
+    }
+}
+
+}  // namespace
+
+const Table* avx2_table() {
+    if (!__builtin_cpu_supports("avx2")) return nullptr;
+    static const Table t = [] {
+        Table tab;  // null slots fall back to the portable kernels
+        tab.matmul_rows = matmul_rows_avx2;
+        tab.linear_act_rows = linear_act_rows_avx2;
+        tab.affine_fwd_rows = affine_fwd_rows_avx2;
+        tab.affine_inv_rows = affine_inv_rows_avx2;
+        tab.scale_shift_rows = scale_shift_rows_avx2;
+        tab.ew_add = ew_add_avx2;
+        tab.ew_sub = ew_sub_avx2;
+        tab.ew_mul = ew_mul_avx2;
+        tab.ew_scale = ew_scale_avx2;
+        tab.ew_tanh = ew_tanh_avx2;
+        tab.ew_exp = ew_exp_avx2;
+        tab.ew_tanh_bwd = ew_tanh_bwd_avx2;
+        return tab;
+    }();
+    return &t;
+}
+
+}  // namespace nofis::linalg::kernels::detail
+
+#else  // not compiled as AVX2 / not x86
+
+namespace nofis::linalg::kernels::detail {
+const Table* avx2_table() { return nullptr; }
+}  // namespace nofis::linalg::kernels::detail
+
+#endif

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace nofis::linalg::kernels {
+
+/// Vectorized hot-path kernel layer (DESIGN.md §13).
+///
+/// Every kernel exists in two observable flavours selected at runtime:
+///
+///   * `scalar` — the serial reference implementation. Plain loops with the
+///     exact operation order the pre-kernel code used; this is the honest
+///     baseline every fused/SIMD kernel is bitwise-checked against.
+///   * `simd`   — register-blocked, vectorized variants (AVX2 or NEON
+///     intrinsics when the CPU has them, portable `#pragma omp simd`-style
+///     loops otherwise) plus the fused inference kernels.
+///
+/// Determinism contract: for every kernel the per-output-element operation
+/// and accumulation order is IDENTICAL across flavours and SIMD backends —
+/// vectorization only widens the independent output lanes, never
+/// reassociates a reduction, and no FMA contraction is permitted
+/// (`-ffp-contract=off` on the kernel translation units, and no TU is
+/// built with -mfma). tanh/exp/sigmoid do NOT call libm: the kernel layer
+/// owns deterministic Cephes-style ports (scalar_math.hpp) whose AVX2
+/// mirrors (avx2_math.hpp) perform the identical operation sequence per
+/// lane. Consequently `scalar` and `simd` produce bitwise-identical
+/// results, including the propagation of NaN/Inf inputs, and DESIGN.md
+/// §8.2's any-thread-count bitwise guarantee holds unchanged for either
+/// choice. (Swapping libm out re-baselined flow numerics by a few ulps vs
+/// the pre-kernel goldens — the §8.2 re-baseline note records it.)
+///
+/// The active flavour comes from `--kernels auto|scalar|simd` (CLI) or the
+/// NOFIS_KERNELS environment variable, `auto` (the default) resolving to
+/// `simd`. Like `--threads`, the choice changes wall-clock only, never
+/// results.
+enum class Choice {
+    kAuto,    ///< resolve to kSimd (best available backend)
+    kScalar,  ///< serial reference kernels + legacy tape inference path
+    kSimd,    ///< fused + vectorized kernels
+};
+
+/// Resolved active choice — never kAuto.
+Choice active() noexcept;
+
+/// Selects the kernel flavour (kAuto picks kSimd). Not safe to call
+/// concurrently with in-flight numeric work, same caveat as
+/// parallel::set_num_threads.
+void set_choice(Choice c) noexcept;
+
+/// Parses "auto" | "scalar" | "simd"; nullopt on anything else.
+std::optional<Choice> parse_choice(const std::string& name) noexcept;
+
+/// Name of the resolved active choice: "scalar" or "simd".
+const char* choice_name() noexcept;
+
+/// SIMD backend the `simd` flavour dispatches to on this machine:
+/// "avx2", "neon", or "portable".
+const char* simd_backend() noexcept;
+
+/// True when the active flavour is the fused/vectorized one.
+bool simd_active() noexcept;
+
+/// Activation applied by the fused linear kernel (mirrors nn::Activation;
+/// kept separate so linalg does not depend on nn).
+enum class Act { kNone, kTanh, kRelu, kLeakyRelu, kSigmoid };
+
+// --- batched row kernels -----------------------------------------------------
+// All matrices are dense row-major. Row kernels operate on the row range
+// [r0, r1) so parallel_for can tile them with disjoint writes (§8.2).
+
+/// out[i,:] += Σ_k lhs[i,k] · rhs[k,:] for i in [r0, r1). `out` rows must be
+/// zero-initialised; accumulation over k is strictly ascending per output
+/// element. lhs is (rows x k), rhs is (k x n), out is (rows x n).
+void matmul_rows(const double* lhs, const double* rhs, double* out,
+                 std::size_t r0, std::size_t r1, std::size_t k,
+                 std::size_t n);
+
+/// Fused dense layer: y[i,:] = act(x[i,:] · W + b) for i in [r0, r1).
+/// W is (in x out) row-major, b has `out` entries. The bias is added after
+/// the full k-sum (matching matmul-then-add_bias order) and the activation
+/// is applied last.
+void linear_act_rows(const double* x, const double* w, const double* b,
+                     double* y, std::size_t r0, std::size_t r1,
+                     std::size_t in, std::size_t out, Act act);
+
+/// Fused RealNVP affine-coupling forward transform for rows [r0, r1):
+/// given the raw conditioner output h (rows x 2·nb), for each j < nb
+///   s = scale_cap · tanh(h[i,j]),  t = h[i, j+nb],
+///   y[i, idx_b[j]] = x[i, idx_b[j]] · exp(s) + t,
+/// and log_det[i] += Σ_j s (ascending j). Passthrough columns of y must
+/// already hold x's values (callers copy x into y first).
+void affine_fwd_rows(const double* x, const double* h,
+                     const std::size_t* idx_b, std::size_t nb,
+                     double scale_cap, std::size_t dim, double* y,
+                     double* log_det, std::size_t r0, std::size_t r1);
+
+/// Inverse of affine_fwd_rows: x[i,c] = (y[i,c] − t) · exp(−s), with the
+/// *forward* log-det (Σ_j s) added into log_det — the conditioner input
+/// (the passthrough half) is identical in both directions.
+void affine_inv_rows(const double* y, const double* h,
+                     const std::size_t* idx_b, std::size_t nb,
+                     double scale_cap, std::size_t dim, double* x,
+                     double* log_det, std::size_t r0, std::size_t r1);
+
+/// Row-broadcast affine map (ActNorm value path): for i in [r0, r1),
+/// y[i,:] = x[i,:] ⊙ scale + shift, with scale/shift rows of length dim.
+void scale_shift_rows(const double* x, const double* scale,
+                      const double* shift, double* y, std::size_t dim,
+                      std::size_t r0, std::size_t r1);
+
+// --- flat elementwise kernels (autodiff value & backward phases) -------------
+// `out` may alias `a` (in-place accumulate forms); n may be 0.
+
+void ew_add(const double* a, const double* b, double* out, std::size_t n);
+void ew_sub(const double* a, const double* b, double* out, std::size_t n);
+void ew_mul(const double* a, const double* b, double* out, std::size_t n);
+void ew_scale(const double* a, double s, double* out, std::size_t n);
+void ew_tanh(const double* a, double* out, std::size_t n);
+void ew_exp(const double* a, double* out, std::size_t n);
+/// Backward of tanh given its forward output y: out = g ⊙ (1 − y²).
+void ew_tanh_bwd(const double* y, const double* g, double* out,
+                 std::size_t n);
+
+}  // namespace nofis::linalg::kernels

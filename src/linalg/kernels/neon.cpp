@@ -1,0 +1,114 @@
+// NEON intrinsic kernels (aarch64, where Advanced SIMD is baseline — no
+// runtime feature probe needed). Same bitwise contract as the AVX2 TU:
+// separate vmulq/vaddq (never vfmaq), ascending-k accumulation per output
+// element. Compiled with -ffp-contract=off. libm-bound kernels fall back
+// to the portable table.
+
+#include "linalg/kernels/table.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace nofis::linalg::kernels::detail {
+
+namespace {
+
+void matmul_rows_neon(const double* lhs, const double* rhs, double* out,
+                      std::size_t r0, std::size_t r1, std::size_t k,
+                      std::size_t n) {
+    for (std::size_t i = r0; i < r1; ++i) {
+        double* out_row = out + i * n;
+        const double* lhs_row = lhs + i * k;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const double a = lhs_row[kk];
+            const double* rp = rhs + kk * n;
+            const float64x2_t va = vdupq_n_f64(a);
+            std::size_t j = 0;
+            for (; j + 4 <= n; j += 4) {
+                float64x2_t c0 = vld1q_f64(out_row + j);
+                float64x2_t c1 = vld1q_f64(out_row + j + 2);
+                c0 = vaddq_f64(c0, vmulq_f64(va, vld1q_f64(rp + j)));
+                c1 = vaddq_f64(c1, vmulq_f64(va, vld1q_f64(rp + j + 2)));
+                vst1q_f64(out_row + j, c0);
+                vst1q_f64(out_row + j + 2, c1);
+            }
+            for (; j + 2 <= n; j += 2) {
+                float64x2_t c = vld1q_f64(out_row + j);
+                c = vaddq_f64(c, vmulq_f64(va, vld1q_f64(rp + j)));
+                vst1q_f64(out_row + j, c);
+            }
+            for (; j < n; ++j) out_row[j] += a * rp[j];
+        }
+    }
+}
+
+void ew_add_neon(const double* a, const double* b, double* out,
+                 std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        vst1q_f64(out + i, vaddq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+    for (; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void ew_sub_neon(const double* a, const double* b, double* out,
+                 std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        vst1q_f64(out + i, vsubq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+    for (; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void ew_mul_neon(const double* a, const double* b, double* out,
+                 std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        vst1q_f64(out + i, vmulq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+    for (; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void ew_scale_neon(const double* a, double s, double* out, std::size_t n) {
+    const float64x2_t vs = vdupq_n_f64(s);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        vst1q_f64(out + i, vmulq_f64(vld1q_f64(a + i), vs));
+    for (; i < n; ++i) out[i] = a[i] * s;
+}
+
+void ew_tanh_bwd_neon(const double* y, const double* g, double* out,
+                      std::size_t n) {
+    const float64x2_t one = vdupq_n_f64(1.0);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const float64x2_t vy = vld1q_f64(y + i);
+        const float64x2_t d = vsubq_f64(one, vmulq_f64(vy, vy));
+        vst1q_f64(out + i, vmulq_f64(vld1q_f64(g + i), d));
+    }
+    for (; i < n; ++i) out[i] = g[i] * (1.0 - y[i] * y[i]);
+}
+
+}  // namespace
+
+const Table* neon_table() {
+    static const Table t = [] {
+        Table tab;  // null slots fall back to the portable kernels
+        tab.matmul_rows = matmul_rows_neon;
+        tab.ew_add = ew_add_neon;
+        tab.ew_sub = ew_sub_neon;
+        tab.ew_mul = ew_mul_neon;
+        tab.ew_scale = ew_scale_neon;
+        tab.ew_tanh_bwd = ew_tanh_bwd_neon;
+        return tab;
+    }();
+    return &t;
+}
+
+}  // namespace nofis::linalg::kernels::detail
+
+#else  // not aarch64
+
+namespace nofis::linalg::kernels::detail {
+const Table* neon_table() { return nullptr; }
+}  // namespace nofis::linalg::kernels::detail
+
+#endif

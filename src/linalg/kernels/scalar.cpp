@@ -1,0 +1,165 @@
+// Serial reference kernels. These loops define the numeric contract: the
+// exact per-output-element operation and accumulation order every SIMD /
+// fused variant must reproduce bitwise. They intentionally contain no
+// sparsity shortcuts — a zero multiplier must still multiply so that
+// 0·NaN == NaN and non-finite divergence propagates to all_finite() checks.
+//
+// tanh/exp/sigmoid go through the deterministic k_* ports in
+// scalar_math.hpp, not libm — libm is the one piece of the pipeline whose
+// rounding we do not control, and the AVX2 backend mirrors k_* op-for-op.
+
+#include "linalg/kernels/scalar_math.hpp"
+#include "linalg/kernels/table.hpp"
+
+namespace nofis::linalg::kernels::detail {
+
+namespace {
+
+void matmul_rows_scalar(const double* lhs, const double* rhs, double* out,
+                        std::size_t r0, std::size_t r1, std::size_t k,
+                        std::size_t n) {
+    for (std::size_t i = r0; i < r1; ++i) {
+        double* out_row = out + i * n;
+        const double* lhs_row = lhs + i * k;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const double a = lhs_row[kk];
+            const double* rhs_row = rhs + kk * n;
+            for (std::size_t j = 0; j < n; ++j) out_row[j] += a * rhs_row[j];
+        }
+    }
+}
+
+double apply_act(double v, Act act) {
+    switch (act) {
+        case Act::kNone:
+            return v;
+        case Act::kTanh:
+            return k_tanh(v);
+        case Act::kRelu:
+            return v > 0.0 ? v : 0.0;
+        case Act::kLeakyRelu:
+            return v > 0.0 ? v : 0.01 * v;
+        case Act::kSigmoid:
+            return k_sigmoid(v);
+    }
+    return v;
+}
+
+void linear_act_rows_scalar(const double* x, const double* w, const double* b,
+                            double* y, std::size_t r0, std::size_t r1,
+                            std::size_t in, std::size_t out, Act act) {
+    for (std::size_t i = r0; i < r1; ++i) {
+        const double* x_row = x + i * in;
+        double* y_row = y + i * out;
+        // Accumulate from zero in ascending-k order, bias strictly after the
+        // full sum — the same order as matmul followed by add_row_broadcast.
+        for (std::size_t j = 0; j < out; ++j) y_row[j] = 0.0;
+        for (std::size_t kk = 0; kk < in; ++kk) {
+            const double a = x_row[kk];
+            const double* w_row = w + kk * out;
+            for (std::size_t j = 0; j < out; ++j) y_row[j] += a * w_row[j];
+        }
+        for (std::size_t j = 0; j < out; ++j)
+            y_row[j] = apply_act(y_row[j] + b[j], act);
+    }
+}
+
+void affine_fwd_rows_scalar(const double* x, const double* h,
+                            const std::size_t* idx_b, std::size_t nb,
+                            double scale_cap, std::size_t dim, double* y,
+                            double* log_det, std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+        const double* h_row = h + r * (2 * nb);
+        double ld = 0.0;
+        for (std::size_t j = 0; j < nb; ++j) {
+            const double s = scale_cap * k_tanh(h_row[j]);
+            const double t = h_row[j + nb];
+            const std::size_t c = idx_b[j];
+            y[r * dim + c] = x[r * dim + c] * k_exp(s) + t;
+            ld += s;
+        }
+        log_det[r] += ld;
+    }
+}
+
+void affine_inv_rows_scalar(const double* y, const double* h,
+                            const std::size_t* idx_b, std::size_t nb,
+                            double scale_cap, std::size_t dim, double* x,
+                            double* log_det, std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+        const double* h_row = h + r * (2 * nb);
+        double ld = 0.0;
+        for (std::size_t j = 0; j < nb; ++j) {
+            const double s = scale_cap * k_tanh(h_row[j]);
+            const double t = h_row[j + nb];
+            const std::size_t c = idx_b[j];
+            x[r * dim + c] = (y[r * dim + c] - t) * k_exp(-s);
+            ld += s;
+        }
+        log_det[r] += ld;
+    }
+}
+
+void scale_shift_rows_scalar(const double* x, const double* scale,
+                             const double* shift, double* y, std::size_t dim,
+                             std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r)
+        for (std::size_t c = 0; c < dim; ++c)
+            y[r * dim + c] = x[r * dim + c] * scale[c] + shift[c];
+}
+
+void ew_add_scalar(const double* a, const double* b, double* out,
+                   std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void ew_sub_scalar(const double* a, const double* b, double* out,
+                   std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void ew_mul_scalar(const double* a, const double* b, double* out,
+                   std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void ew_scale_scalar(const double* a, double s, double* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * s;
+}
+
+void ew_tanh_scalar(const double* a, double* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = k_tanh(a[i]);
+}
+
+void ew_exp_scalar(const double* a, double* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = k_exp(a[i]);
+}
+
+void ew_tanh_bwd_scalar(const double* y, const double* g, double* out,
+                        std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = g[i] * (1.0 - y[i] * y[i]);
+}
+
+}  // namespace
+
+const Table& scalar_table() {
+    static const Table t = [] {
+        Table tab;
+        tab.matmul_rows = matmul_rows_scalar;
+        tab.linear_act_rows = linear_act_rows_scalar;
+        tab.affine_fwd_rows = affine_fwd_rows_scalar;
+        tab.affine_inv_rows = affine_inv_rows_scalar;
+        tab.scale_shift_rows = scale_shift_rows_scalar;
+        tab.ew_add = ew_add_scalar;
+        tab.ew_sub = ew_sub_scalar;
+        tab.ew_mul = ew_mul_scalar;
+        tab.ew_scale = ew_scale_scalar;
+        tab.ew_tanh = ew_tanh_scalar;
+        tab.ew_exp = ew_exp_scalar;
+        tab.ew_tanh_bwd = ew_tanh_bwd_scalar;
+        return tab;
+    }();
+    return t;
+}
+
+}  // namespace nofis::linalg::kernels::detail

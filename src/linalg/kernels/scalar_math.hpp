@@ -1,0 +1,173 @@
+#pragma once
+
+// Deterministic transcendental kernels (DESIGN.md §13, re-baselined per
+// §8.2 in PR 7).
+//
+// libm's tanh/exp dominate the flow hot path (~80 calls per row·layer) and
+// cannot be vectorized without changing results, because no two libms — or
+// even a libm and its own SIMD variants — round identically. So the kernel
+// layer carries its own implementations, ported from the public-domain
+// Cephes library (Moshier): ~1-2 ulp accuracy, and every operation is a
+// single IEEE-754 mul/add/sub/div/compare/select in a FIXED order. The
+// AVX2 variants in avx2_math.hpp perform the exact same operation sequence
+// per lane (no FMA, no reassociation), so scalar and vector results are
+// bitwise identical — including NaN payloads (canonicalized positive, see
+// k_abs), signed zeros, infinities and gradual underflow.
+//
+// Style note: the scalar code below intentionally mirrors vector blend
+// semantics — clamp via the (a > b ? a : b) forms that match
+// _mm256_max_pd/_mm256_min_pd NaN behaviour, compute the main path on the
+// clamped value, then apply range/NaN selects in the same order as the
+// vector blends. Do not "simplify" it into early returns that reorder the
+// selects.
+
+#include <cstdint>
+#include <cstring>
+
+namespace nofis::linalg::kernels {
+
+namespace cephes {
+
+// exp: e^x = 2^n · e^r with r = x − n·ln2 (Cody-Waite split C1+C2),
+// e^r = 1 + 2·r·P(r²) / (Q(r²) − r·P(r²)). (A division-free degree-13
+// Taylor polynomial was benchmarked as an alternative and lost: its long
+// serial Horner chain costs more than the rational's one vdivpd on the
+// batched hot path.)
+inline constexpr double kLog2E = 1.4426950408889634073599;
+inline constexpr double kExpC1 = 6.93145751953125E-1;
+inline constexpr double kExpC2 = 1.42860682030941723212E-6;
+inline constexpr double kExpP0 = 1.26177193074810590878E-4;
+inline constexpr double kExpP1 = 3.02994407707441961300E-2;
+inline constexpr double kExpP2 = 9.99999999999999999910E-1;
+inline constexpr double kExpQ0 = 3.00198505138664455042E-6;
+inline constexpr double kExpQ1 = 2.52448340349684104192E-3;
+inline constexpr double kExpQ2 = 2.27265548208155028766E-1;
+inline constexpr double kExpQ3 = 2.00000000000000000005E0;
+/// Above this, exp overflows double (ln DBL_MAX); result is +inf.
+inline constexpr double kExpOverflow = 709.782712893383996843;
+/// Below this, exp underflows even the denormals; result is +0.
+inline constexpr double kExpUnderflow = -745.133219101941108420;
+
+// tanh, |x| < 0.625: x + x·x²·P(x²)/Q(x²) (Q monic).
+inline constexpr double kTanhP0 = -9.64399179425052238628E-1;
+inline constexpr double kTanhP1 = -9.92877231001918586564E1;
+inline constexpr double kTanhP2 = -1.61468768441708447952E3;
+inline constexpr double kTanhQ0 = 1.12811678491632931402E2;
+inline constexpr double kTanhQ1 = 2.23548839060100448583E3;
+inline constexpr double kTanhQ2 = 4.84406305325125486048E3;
+inline constexpr double kTanhBranch = 0.625;
+
+}  // namespace cephes
+
+/// 2^n for biased-exponent-representable n; callers split larger scalings
+/// into two factors. Exact (a power of two), so multiplication by it only
+/// rounds when the product over/underflows — deterministically.
+inline double pow2i(int n) {
+    const std::uint64_t bits = static_cast<std::uint64_t>(n + 1023) << 52;
+    double d;
+    std::memcpy(&d, &bits, sizeof d);
+    return d;
+}
+
+/// |x| as a sign-bit clear (the vector andnot). Also the canonical NaN the
+/// k_* functions return for NaN input: compilers do not preserve the sign
+/// bit of a NaN through negation/folding (IEEE leaves it unspecified), so
+/// a NaN result pinned to the *signed* input bits would differ between
+/// translation units. Clearing the sign makes the output independent of
+/// whatever the optimizer did to the argument's sign while keeping the
+/// payload.
+inline double k_abs(double x) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &x, sizeof bits);
+    bits &= 0x7fffffffffffffffULL;
+    std::memcpy(&x, &bits, sizeof x);
+    return x;
+}
+
+/// Deterministic e^x. Bitwise identical to the AVX2 lane computation.
+inline double k_exp(double x) {
+    using namespace cephes;
+    // Clamp with max/min-style selects (NaN lanes collapse to the bound and
+    // are restored by the final select).
+    double xm = (x > kExpUnderflow) ? x : kExpUnderflow;  // max(x, lo)
+    xm = (xm < kExpOverflow) ? xm : kExpOverflow;         // min(xm, hi)
+
+    // n = floor(x·log2e + 0.5): round-half-up, matching _mm256_floor_pd.
+    double w = xm * kLog2E + 0.5;
+    w = __builtin_floor(w);
+    const int n = static_cast<int>(w);
+
+    double r = xm - w * kExpC1;
+    r = r - w * kExpC2;
+    const double rr = r * r;
+    const double px = r * ((kExpP0 * rr + kExpP1) * rr + kExpP2);
+    const double qx = ((kExpQ0 * rr + kExpQ1) * rr + kExpQ2) * rr + kExpQ3;
+    double e = 1.0 + 2.0 * (px / (qx - px));
+
+    // 2^n in two exact factors so n beyond the exponent range (denormal
+    // results, or n = 1024 at the overflow edge) still scales correctly.
+    const int n1 = n >> 1;  // arithmetic shift: floor, same as vpsrad
+    const int n2 = n - n1;
+    e = (e * pow2i(n1)) * pow2i(n2);
+
+    // Range/NaN selects, in the same order as the vector blends. NaN in →
+    // canonical (sign-cleared) NaN out; see k_abs for why not x itself.
+    e = (x > kExpOverflow) ? __builtin_inf() : e;
+    e = (x < kExpUnderflow) ? 0.0 : e;
+    e = (x != x) ? k_abs(x) : e;
+    return e;
+}
+
+/// Deterministic tanh(x). Bitwise identical to the AVX2 lane computation.
+///
+/// The magnitude is computed on |x| and the sign applied once at the end
+/// as a bit-or: round-to-nearest is sign-symmetric, so this equals
+/// computing on x directly for every finite magnitude while also making
+/// odd symmetry exact — including tanh(−0) == −0, which the naive
+/// x + x·(...) form destroys (−0 + +0 rounds to +0).
+///
+/// Both branches are phrased as a single num/den ratio so the whole
+/// function costs ONE division (the tanh hot path is division-throughput
+/// bound in the vector backend):
+///   |x| ≥ 0.625:  (1 − s) / (1 + s) with s = e^(−2|x|)  [== 1 − 2s/(s+1);
+///                  s underflow saturates to exactly 1, covering infinity]
+///   |x| < 0.625:  |x|·(Q(x²) + x²·P(x²)) / Q(x²)
+///                  [== |x| + |x|·x²·P/Q, accurate where the big form
+///                  would cancel]
+inline double k_tanh(double x) {
+    using namespace cephes;
+    const double ax = k_abs(x);
+
+    double num, den;
+    if (ax >= kTanhBranch) {
+        const double s = k_exp(-2.0 * ax);
+        num = 1.0 - s;
+        den = 1.0 + s;
+    } else {
+        // NaN lands here (>= compares false) and rides through num.
+        const double x2 = ax * ax;
+        const double p = (kTanhP0 * x2 + kTanhP1) * x2 + kTanhP2;
+        const double q = ((x2 + kTanhQ0) * x2 + kTanhQ1) * x2 + kTanhQ2;
+        num = ax * (q + x2 * p);
+        den = q;
+    }
+    double t = num / den;
+    {  // copysign(t, x) as a bit-or, matching the vector or(sign, t)
+        std::uint64_t tbits, xbits;
+        std::memcpy(&tbits, &t, sizeof tbits);
+        std::memcpy(&xbits, &x, sizeof xbits);
+        tbits |= (xbits & 0x8000000000000000ULL);
+        std::memcpy(&t, &tbits, sizeof t);
+    }
+    // Canonical NaN out (ax IS the sign-cleared input), never the NaN the
+    // arithmetic above happened to produce — its sign/ordering is at the
+    // optimizer's mercy.
+    t = (x != x) ? ax : t;
+    return t;
+}
+
+/// Deterministic logistic sigmoid 1/(1+e^(−x)), built on k_exp so the fused
+/// kernels and the autodiff tape path agree bitwise.
+inline double k_sigmoid(double x) { return 1.0 / (1.0 + k_exp(-x)); }
+
+}  // namespace nofis::linalg::kernels

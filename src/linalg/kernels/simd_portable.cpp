@@ -1,0 +1,234 @@
+// Portable vectorized kernels: register-blocked loops annotated with
+// `#pragma omp simd` (honored via -fopenmp-simd; plain auto-vectorizable
+// loops otherwise). The inner j loops are lane-parallel over independent
+// output elements, so vectorization never reassociates an accumulation:
+// each out[j] still sums its k-terms in strictly ascending order, exactly
+// like the scalar reference. This TU is compiled with -ffp-contract=off so
+// no mul+add pair is fused into an FMA — bitwise equality with the scalar
+// kernels is a hard contract, not a tolerance.
+
+#include "linalg/kernels/scalar_math.hpp"
+#include "linalg/kernels/table.hpp"
+
+namespace nofis::linalg::kernels::detail {
+
+namespace {
+
+void matmul_rows_portable(const double* lhs, const double* rhs, double* out,
+                          std::size_t r0, std::size_t r1, std::size_t k,
+                          std::size_t n) {
+    for (std::size_t i = r0; i < r1; ++i) {
+        double* out_row = out + i * n;
+        const double* lhs_row = lhs + i * k;
+        std::size_t kk = 0;
+        // Register-blocked over k: four rhs rows stream per pass, each
+        // out[j] accumulating its four terms in ascending-k order.
+        for (; kk + 4 <= k; kk += 4) {
+            const double a0 = lhs_row[kk];
+            const double a1 = lhs_row[kk + 1];
+            const double a2 = lhs_row[kk + 2];
+            const double a3 = lhs_row[kk + 3];
+            const double* r0p = rhs + kk * n;
+            const double* r1p = r0p + n;
+            const double* r2p = r1p + n;
+            const double* r3p = r2p + n;
+#pragma omp simd
+            for (std::size_t j = 0; j < n; ++j) {
+                double acc = out_row[j];
+                acc = acc + a0 * r0p[j];
+                acc = acc + a1 * r1p[j];
+                acc = acc + a2 * r2p[j];
+                acc = acc + a3 * r3p[j];
+                out_row[j] = acc;
+            }
+        }
+        for (; kk < k; ++kk) {
+            const double a = lhs_row[kk];
+            const double* rhs_row = rhs + kk * n;
+#pragma omp simd
+            for (std::size_t j = 0; j < n; ++j) out_row[j] += a * rhs_row[j];
+        }
+    }
+}
+
+void linear_act_rows_portable(const double* x, const double* w,
+                              const double* b, double* y, std::size_t r0,
+                              std::size_t r1, std::size_t in, std::size_t out,
+                              Act act) {
+    for (std::size_t i = r0; i < r1; ++i) {
+        const double* x_row = x + i * in;
+        double* y_row = y + i * out;
+#pragma omp simd
+        for (std::size_t j = 0; j < out; ++j) y_row[j] = 0.0;
+        std::size_t kk = 0;
+        for (; kk + 4 <= in; kk += 4) {
+            const double a0 = x_row[kk];
+            const double a1 = x_row[kk + 1];
+            const double a2 = x_row[kk + 2];
+            const double a3 = x_row[kk + 3];
+            const double* w0 = w + kk * out;
+            const double* w1 = w0 + out;
+            const double* w2 = w1 + out;
+            const double* w3 = w2 + out;
+#pragma omp simd
+            for (std::size_t j = 0; j < out; ++j) {
+                double acc = y_row[j];
+                acc = acc + a0 * w0[j];
+                acc = acc + a1 * w1[j];
+                acc = acc + a2 * w2[j];
+                acc = acc + a3 * w3[j];
+                y_row[j] = acc;
+            }
+        }
+        for (; kk < in; ++kk) {
+            const double a = x_row[kk];
+            const double* w_row = w + kk * out;
+#pragma omp simd
+            for (std::size_t j = 0; j < out; ++j) y_row[j] += a * w_row[j];
+        }
+        switch (act) {
+            case Act::kNone:
+#pragma omp simd
+                for (std::size_t j = 0; j < out; ++j) y_row[j] += b[j];
+                break;
+            case Act::kTanh:
+                for (std::size_t j = 0; j < out; ++j)
+                    y_row[j] = k_tanh(y_row[j] + b[j]);
+                break;
+            case Act::kRelu:
+#pragma omp simd
+                for (std::size_t j = 0; j < out; ++j) {
+                    const double v = y_row[j] + b[j];
+                    y_row[j] = v > 0.0 ? v : 0.0;
+                }
+                break;
+            case Act::kLeakyRelu:
+#pragma omp simd
+                for (std::size_t j = 0; j < out; ++j) {
+                    const double v = y_row[j] + b[j];
+                    y_row[j] = v > 0.0 ? v : 0.01 * v;
+                }
+                break;
+            case Act::kSigmoid:
+                for (std::size_t j = 0; j < out; ++j)
+                    y_row[j] = k_sigmoid(y_row[j] + b[j]);
+                break;
+        }
+    }
+}
+
+// The affine transform is dominated by tanh/exp; the deterministic k_*
+// ports keep those calls bitwise-equal to the scalar reference (and to the
+// vectorized AVX2 variant), while the fusion removes the s/t temporaries.
+void affine_fwd_rows_portable(const double* x, const double* h,
+                              const std::size_t* idx_b, std::size_t nb,
+                              double scale_cap, std::size_t dim, double* y,
+                              double* log_det, std::size_t r0,
+                              std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+        const double* h_row = h + r * (2 * nb);
+        double ld = 0.0;
+        for (std::size_t j = 0; j < nb; ++j) {
+            const double s = scale_cap * k_tanh(h_row[j]);
+            const double t = h_row[j + nb];
+            const std::size_t c = idx_b[j];
+            y[r * dim + c] = x[r * dim + c] * k_exp(s) + t;
+            ld += s;
+        }
+        log_det[r] += ld;
+    }
+}
+
+void affine_inv_rows_portable(const double* y, const double* h,
+                              const std::size_t* idx_b, std::size_t nb,
+                              double scale_cap, std::size_t dim, double* x,
+                              double* log_det, std::size_t r0,
+                              std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+        const double* h_row = h + r * (2 * nb);
+        double ld = 0.0;
+        for (std::size_t j = 0; j < nb; ++j) {
+            const double s = scale_cap * k_tanh(h_row[j]);
+            const double t = h_row[j + nb];
+            const std::size_t c = idx_b[j];
+            x[r * dim + c] = (y[r * dim + c] - t) * k_exp(-s);
+            ld += s;
+        }
+        log_det[r] += ld;
+    }
+}
+
+void scale_shift_rows_portable(const double* x, const double* scale,
+                               const double* shift, double* y,
+                               std::size_t dim, std::size_t r0,
+                               std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+        const double* x_row = x + r * dim;
+        double* y_row = y + r * dim;
+#pragma omp simd
+        for (std::size_t c = 0; c < dim; ++c)
+            y_row[c] = x_row[c] * scale[c] + shift[c];
+    }
+}
+
+void ew_add_portable(const double* a, const double* b, double* out,
+                     std::size_t n) {
+#pragma omp simd
+    for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void ew_sub_portable(const double* a, const double* b, double* out,
+                     std::size_t n) {
+#pragma omp simd
+    for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+void ew_mul_portable(const double* a, const double* b, double* out,
+                     std::size_t n) {
+#pragma omp simd
+    for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
+void ew_scale_portable(const double* a, double s, double* out,
+                       std::size_t n) {
+#pragma omp simd
+    for (std::size_t i = 0; i < n; ++i) out[i] = a[i] * s;
+}
+
+void ew_tanh_portable(const double* a, double* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = k_tanh(a[i]);
+}
+
+void ew_exp_portable(const double* a, double* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = k_exp(a[i]);
+}
+
+void ew_tanh_bwd_portable(const double* y, const double* g, double* out,
+                          std::size_t n) {
+#pragma omp simd
+    for (std::size_t i = 0; i < n; ++i) out[i] = g[i] * (1.0 - y[i] * y[i]);
+}
+
+}  // namespace
+
+const Table& portable_table() {
+    static const Table t = [] {
+        Table tab;
+        tab.matmul_rows = matmul_rows_portable;
+        tab.linear_act_rows = linear_act_rows_portable;
+        tab.affine_fwd_rows = affine_fwd_rows_portable;
+        tab.affine_inv_rows = affine_inv_rows_portable;
+        tab.scale_shift_rows = scale_shift_rows_portable;
+        tab.ew_add = ew_add_portable;
+        tab.ew_sub = ew_sub_portable;
+        tab.ew_mul = ew_mul_portable;
+        tab.ew_scale = ew_scale_portable;
+        tab.ew_tanh = ew_tanh_portable;
+        tab.ew_exp = ew_exp_portable;
+        tab.ew_tanh_bwd = ew_tanh_bwd_portable;
+        return tab;
+    }();
+    return t;
+}
+
+}  // namespace nofis::linalg::kernels::detail

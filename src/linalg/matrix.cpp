@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "linalg/kernels/kernels.hpp"
 #include "parallel/thread_pool.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -144,18 +145,18 @@ Matrix Matrix::vcat(const Matrix& other) const {
 
 Matrix& Matrix::operator+=(const Matrix& rhs) {
     if (rhs.rows() != rows_ || rhs.cols() != cols_) shape_error("operator+=");
-    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+    kernels::ew_add(data(), rhs.data(), data(), data_.size());
     return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& rhs) {
     if (rhs.rows() != rows_ || rhs.cols() != cols_) shape_error("operator-=");
-    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+    kernels::ew_sub(data(), rhs.data(), data(), data_.size());
     return *this;
 }
 
 Matrix& Matrix::operator*=(double s) {
-    for (double& v : data_) v *= s;
+    kernels::ew_scale(data(), s, data(), data_.size());
     return *this;
 }
 
@@ -169,8 +170,7 @@ Matrix Matrix::operator-() const { return map([](double v) { return -v; }); }
 Matrix Matrix::hadamard(const Matrix& rhs) const {
     if (rhs.rows() != rows_ || rhs.cols() != cols_) shape_error("hadamard");
     Matrix out(rows_, cols_);
-    for (std::size_t i = 0; i < data_.size(); ++i)
-        out.data_[i] = data_[i] * rhs.data_[i];
+    kernels::ew_mul(data(), rhs.data(), out.data(), data_.size());
     return out;
 }
 
@@ -178,19 +178,14 @@ Matrix Matrix::matmul(const Matrix& rhs) const {
     if (cols_ != rhs.rows()) shape_error("matmul inner dimension");
     Matrix out(rows_, rhs.cols_);
     // i-k-j loop order: streams through rhs rows, cache-friendly for
-    // row-major storage without requiring an explicit transpose.
+    // row-major storage without requiring an explicit transpose. The inner
+    // kernel is dispatched (scalar reference or register-blocked SIMD —
+    // bitwise-identical results either way) and never skips zero
+    // multipliers: 0·NaN must stay NaN so non-finite values in the rhs
+    // propagate to downstream all_finite() divergence checks.
     auto row_range = [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t i = r0; i < r1; ++i) {
-            double* out_row = out.data() + i * out.cols_;
-            const double* lhs_row = data() + i * cols_;
-            for (std::size_t k = 0; k < cols_; ++k) {
-                const double a = lhs_row[k];
-                if (a == 0.0) continue;
-                const double* rhs_row = rhs.data() + k * rhs.cols_;
-                for (std::size_t j = 0; j < rhs.cols_; ++j)
-                    out_row[j] += a * rhs_row[j];
-            }
-        }
+        kernels::matmul_rows(data(), rhs.data(), out.data(), r0, r1, cols_,
+                             rhs.cols_);
     };
     // Row-tiled parallel kernel: every output row is produced by exactly one
     // lane with the same inner loop and accumulation order as the serial
@@ -240,13 +235,17 @@ double Matrix::mean() const noexcept {
     return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size());
 }
 
-double Matrix::min() const noexcept {
+double Matrix::min() const {
+    if (data_.empty())
+        throw std::logic_error("Matrix::min: empty matrix has no minimum");
     double m = std::numeric_limits<double>::infinity();
     for (double v : data_) m = std::min(m, v);
     return m;
 }
 
-double Matrix::max() const noexcept {
+double Matrix::max() const {
+    if (data_.empty())
+        throw std::logic_error("Matrix::max: empty matrix has no maximum");
     double m = -std::numeric_limits<double>::infinity();
     for (double v : data_) m = std::max(m, v);
     return m;
@@ -293,6 +292,7 @@ bool Matrix::all_finite() const noexcept {
 }
 
 std::string Matrix::to_string(int precision) const {
+    if (rows_ == 0) return "[]";
     std::ostringstream os;
     os.precision(precision);
     for (std::size_t r = 0; r < rows_; ++r) {

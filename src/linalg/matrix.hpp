@@ -113,10 +113,15 @@ public:
     }
 
     // --- reductions ----------------------------------------------------------
+    // Empty-matrix semantics: sum() is 0 (the additive identity) and mean()
+    // returns the documented sentinel 0.0 — both are tested contracts. min()
+    // and max() have no safe identity (a ±infinity sentinel would mask
+    // non-finite divergence downstream), so they throw std::logic_error on a
+    // 0-element matrix.
     double sum() const noexcept;
     double mean() const noexcept;
-    double min() const noexcept;
-    double max() const noexcept;
+    double min() const;
+    double max() const;
     /// Frobenius norm.
     double norm() const noexcept;
     /// Largest absolute element.

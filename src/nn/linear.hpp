@@ -28,6 +28,8 @@ public:
 
     autodiff::Var& weight() { return weight_; }
     autodiff::Var& bias() { return bias_; }
+    const autodiff::Var& weight() const noexcept { return weight_; }
+    const autodiff::Var& bias() const noexcept { return bias_; }
 
 private:
     std::size_t in_;

@@ -2,9 +2,36 @@
 
 #include <stdexcept>
 
+#include "linalg/kernels/kernels.hpp"
+#include "parallel/thread_pool.hpp"
+
 namespace nofis::nn {
 
 namespace {
+
+namespace kernels = linalg::kernels;
+
+/// Below this many multiply-adds a fused layer runs inline — same
+/// threshold discipline as the tiled matmul (fork-join overhead beats any
+/// win for the small conditioner layers).
+constexpr std::size_t kParallelFusedMinOps = 1u << 15;
+
+kernels::Act kernel_act(Activation act) {
+    switch (act) {
+        case Activation::kTanh:
+            return kernels::Act::kTanh;
+        case Activation::kRelu:
+            return kernels::Act::kRelu;
+        case Activation::kLeakyRelu:
+            return kernels::Act::kLeakyRelu;
+        case Activation::kSigmoid:
+            return kernels::Act::kSigmoid;
+        case Activation::kIdentity:
+            return kernels::Act::kNone;
+    }
+    throw std::logic_error("kernel_act: unknown activation");
+}
+
 autodiff::Var apply_activation(const autodiff::Var& x, Activation act) {
     switch (act) {
         case Activation::kTanh:
@@ -44,7 +71,36 @@ autodiff::Var MLP::forward(const autodiff::Var& x) const {
 }
 
 linalg::Matrix MLP::predict(const linalg::Matrix& x) const {
-    return forward(autodiff::Var(x)).value();
+    // Scalar flavour keeps the legacy graph path: it is the reference the
+    // fused kernels are bitwise-checked against (and the honest perf
+    // baseline for the O2 speedup claims).
+    if (!kernels::simd_active()) return forward(autodiff::Var(x)).value();
+
+    // Fused value path: one linear_act_rows kernel per layer, no autodiff
+    // tape, no separate bias/activation passes. Rows are independent, so
+    // large batches tile over the pool with disjoint writes (§8.2) and the
+    // result is bitwise identical at any thread count.
+    linalg::Matrix cur = x;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const linalg::Matrix& w = layers_[i].weight().value();
+        const linalg::Matrix& b = layers_[i].bias().value();
+        if (cur.cols() != w.rows())
+            throw std::invalid_argument("MLP::predict: dim mismatch");
+        const kernels::Act act =
+            (i + 1 < layers_.size()) ? kernel_act(act_) : kernels::Act::kNone;
+        linalg::Matrix next(cur.rows(), w.cols());
+        auto row_range = [&](std::size_t r0, std::size_t r1) {
+            kernels::linear_act_rows(cur.data(), w.data(), b.data(),
+                                     next.data(), r0, r1, w.rows(), w.cols(),
+                                     act);
+        };
+        if (cur.rows() * w.rows() * w.cols() >= kParallelFusedMinOps)
+            parallel::parallel_for(cur.rows(), row_range);
+        else
+            row_range(0, cur.rows());
+        cur = std::move(next);
+    }
+    return cur;
 }
 
 std::vector<autodiff::Var> MLP::params() const {

@@ -94,7 +94,10 @@ PoolStats pool_stats();
 /// Row count at which a batched flow evaluation saturates the global pool:
 /// enough rows per lane for the tiled matmul's static chunks to amortise
 /// the fork-join, independent of how many requests contributed the rows.
-/// The serving scheduler sizes its micro-batches with this by default.
+/// The serving scheduler sizes its micro-batches with this by default
+/// (scaled up when the fused simd kernels are active — see
+/// serve/scheduler.cpp; this layer stays below linalg so it cannot ask the
+/// kernel dispatch itself).
 std::size_t preferred_batch_rows() noexcept;
 
 /// Dumps pool_stats() into `trace` as counters (pool.jobs, pool.tasks) and

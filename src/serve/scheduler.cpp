@@ -5,6 +5,7 @@
 
 #include "core/nofis.hpp"
 #include "evalcache/cached_problem.hpp"
+#include "linalg/kernels/kernels.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/normal.hpp"
 #include "telemetry/telemetry.hpp"
@@ -40,6 +41,16 @@ Json vector_json(const std::vector<double>& v, std::size_t begin,
     for (std::size_t i = begin; i < end; ++i)
         arr.push_back(Json::number(v[i]));
     return arr;
+}
+
+/// Derived micro-batch row budget. The fused simd kernels have much lower
+/// per-row cost, so coalescing twice as many rows per dispatch keeps the
+/// pool saturated; responses are unaffected — §10.4 guarantees byte-equal
+/// results at any batch size, so this only moves wall-clock.
+std::size_t derived_batch_rows(const SchedulerConfig& cfg) {
+    if (cfg.max_batch_rows > 0) return cfg.max_batch_rows;
+    const std::size_t base = parallel::preferred_batch_rows();
+    return linalg::kernels::simd_active() ? 2 * base : base;
 }
 
 }  // namespace
@@ -130,9 +141,7 @@ std::size_t BatchScheduler::queue_depth() const {
 std::vector<BatchScheduler::Pending> BatchScheduler::assemble_locked(
     std::unique_lock<std::mutex>& lock) {
     (void)lock;  // caller holds mutex_
-    const std::size_t target = cfg_.max_batch_rows > 0
-                                   ? cfg_.max_batch_rows
-                                   : parallel::preferred_batch_rows();
+    const std::size_t target = derived_batch_rows(cfg_);
     std::vector<Pending> batch;
     std::size_t rows = 0;
     while (!queue_.empty()) {
@@ -165,9 +174,7 @@ void BatchScheduler::loop() {
             }
             if (!stopping_) {
                 // Coalescing window: wait up to max_wait_us for more rows.
-                const std::size_t target =
-                    cfg_.max_batch_rows > 0 ? cfg_.max_batch_rows
-                                            : parallel::preferred_batch_rows();
+                const std::size_t target = derived_batch_rows(cfg_);
                 const auto window_end =
                     std::chrono::steady_clock::now() +
                     std::chrono::microseconds(cfg_.max_wait_us);
@@ -433,6 +440,12 @@ Response BatchScheduler::run_admin(Pending& p) {
             case Op::kPing: {
                 Json result = Json::object();
                 result.set("pong", Json::boolean(true));
+                // Runtime surface for the kernel flavour: ops tooling can
+                // confirm which numeric path a server is on without logs.
+                result.set("kernels",
+                           Json::string(linalg::kernels::choice_name()));
+                result.set("simd_backend",
+                           Json::string(linalg::kernels::simd_backend()));
                 return Response::success(p.req, std::move(result));
             }
             case Op::kInfo: {
