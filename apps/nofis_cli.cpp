@@ -4,11 +4,14 @@
 //       Show the registered test cases with golden probabilities and
 //       per-case budgets.
 //   nofis_cli estimate --case Leaf [--method NOFIS] [--repeats 3] [--seed 1]
+//            [--coupling affine|additive|rqs]
 //       Run one estimator at its Table-1 budget and report
-//       estimate / calls / log-error per repeat.
+//       estimate / calls / log-error per repeat. --coupling overrides the
+//       NOFIS proposal's coupling family (ignored by baselines).
 //   nofis_cli levels --case Opamp [--num 5] [--pilot 500] [--seed 1]
 //       Print an automatically selected nested-subset schedule.
 //   nofis_cli train --case Leaf --save leaf.nofisflow [--seed 1]
+//            [--coupling affine|additive|rqs] [--rqs-bins 8] [--rqs-tail 5]
 //            [--inject-nan 0.05] [--inject-throw 0.01] [--policy retry]
 //            [--checkpoint-dir D] [--checkpoint-every K] [--resume]
 //            [--checkpoint-keep 3]
@@ -111,10 +114,11 @@ int cmd_estimate(int argc, char** argv) {
     const std::string method = arg_value(argc, argv, "--method", "NOFIS");
     const auto repeats = size_flag(argc, argv, "--repeats", "3");
     const auto seed = u64_flag(argc, argv, "--seed", "1");
+    const std::string coupling = arg_value(argc, argv, "--coupling", "");
 
     const auto cache = cache_from_flags(argc, argv);
     const auto tc = testcases::make_case(case_name);
-    const auto est = make_estimator(method, *tc, cache);
+    const auto est = make_estimator(method, *tc, cache, coupling);
     // NOFIS consults the cache through its config; the baselines evaluate
     // through an external wrapper. Estimates (and this command's stdout)
     // are bitwise identical with the cache off, cold, or warm — the
@@ -201,6 +205,13 @@ int cmd_train(int argc, char** argv) {
     const auto tc = testcases::make_case(case_name);
     const auto budget = tc->nofis_budget();
     auto cfg = nofis_config_from_budget(budget);
+    // Coupling family for the proposal flow: affine (default) | additive |
+    // rqs. The spline knobs only matter under --coupling rqs and are
+    // ignored (not even fingerprinted) otherwise.
+    const std::string coupling = arg_value(argc, argv, "--coupling", "");
+    if (!coupling.empty()) cfg.coupling = parse_coupling(coupling);
+    cfg.rqs_bins = size_flag(argc, argv, "--rqs-bins", "8");
+    cfg.rqs_tail = double_flag(argc, argv, "--rqs-tail", "5");
     cfg.guard.policy =
         parse_policy(arg_value(argc, argv, "--policy", "retry"));
     // Routed through the config (rather than only the global pool) so the
@@ -333,6 +344,10 @@ int cmd_info(int argc, char** argv) {
     std::printf("layers_per_block: %zu (K)\n", info.layers_per_block);
     std::printf("coupling: %s\n",
                 flow::coupling_kind_name(info.coupling).c_str());
+    if (info.coupling == flow::CouplingKind::kRqs) {
+        std::printf("rqs_bins: %zu\n", info.rqs_bins);
+        std::printf("rqs_tail: %g\n", info.rqs_tail);
+    }
     std::printf("actnorm: %s\n", info.use_actnorm ? "on" : "off");
     std::printf("hidden:");
     for (std::size_t h : info.hidden) std::printf(" %zu", h);

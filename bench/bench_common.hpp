@@ -52,13 +52,25 @@ inline std::vector<std::string> all_method_names() {
     return {"MC", "SIR", "SUC", "SUS", "SSS", "Adapt-IS", "NOFIS"};
 }
 
+/// Parses a --coupling flag value; throws (CLI exit 2) on anything else.
+inline flow::CouplingKind parse_coupling(const std::string& name) {
+    if (name == "affine") return flow::CouplingKind::kAffine;
+    if (name == "additive") return flow::CouplingKind::kAdditive;
+    if (name == "rqs") return flow::CouplingKind::kRqs;
+    throw std::invalid_argument("unknown coupling '" + name +
+                                "' (expected affine|additive|rqs)");
+}
+
 /// Builds the estimator for `method` sized by the case's budgets. A non-null
 /// `cache` is wired into NOFIS's config (the estimator composes
 /// Guarded(Cached(g)) internally); the baselines take it at the call site —
 /// see run_cell — because their problem is wrapped externally.
+/// `coupling_override`: non-empty forces the NOFIS flow's coupling family
+/// ("affine" | "additive" | "rqs"); ignored by the baseline methods.
 inline std::unique_ptr<estimators::Estimator> make_estimator(
     const std::string& method, const testcases::TestCase& tc,
-    std::shared_ptr<evalcache::EvalCache> cache = nullptr) {
+    std::shared_ptr<evalcache::EvalCache> cache = nullptr,
+    const std::string& coupling_override = "") {
     const auto bb = tc.baseline_budget();
     if (method == "MC")
         return std::make_unique<estimators::MonteCarloEstimator>(
@@ -96,6 +108,8 @@ inline std::unique_ptr<estimators::Estimator> make_estimator(
     if (method == "NOFIS") {
         const auto nb = tc.nofis_budget();
         auto cfg = nofis_config_from_budget(nb);
+        if (!coupling_override.empty())
+            cfg.coupling = parse_coupling(coupling_override);
         if (cache) {
             cfg.cache = std::move(cache);
             cfg.cache_key = testcases::cache_key(tc);

@@ -238,6 +238,57 @@ Var hadamard_const(const Var& a, const linalg::Matrix& c) {
     });
 }
 
+RqsForward rqs_forward(const Var& xb, const Var& h, std::size_t num_bins,
+                       double tail_bound) {
+    namespace kernels = linalg::kernels;
+    const std::size_t n = xb.rows();
+    const std::size_t nb = xb.cols();
+    const std::size_t group = 3 * num_bins + 1;
+    if (num_bins == 0 || num_bins > kernels::kMaxRqsBins)
+        throw std::invalid_argument("rqs_forward: bad num_bins");
+    if (h.rows() != n || h.cols() != nb * group)
+        throw std::invalid_argument("rqs_forward: conditioner shape mismatch");
+
+    auto px = xb.node();
+    auto ph = h.node();
+    // Compact layout: every column is transformed, so idx_b is the identity.
+    std::vector<std::size_t> idx(nb);
+    for (std::size_t j = 0; j < nb; ++j) idx[j] = j;
+    Matrix y(n, nb);
+    Matrix ld(n, 1);
+    kernels::rqs_fwd_rows(px->value.data(), ph->value.data(), idx.data(), nb,
+                          num_bins, tail_bound, nb, y.data(), ld.data(), 0, n);
+
+    const bool req = px->requires_grad || ph->requires_grad;
+    auto ynode = std::make_shared<Node>(std::move(y), req);
+    auto lnode = std::make_shared<Node>(std::move(ld), req);
+    ynode->parents = {px, ph};
+    lnode->parents = {px, ph};
+    if (req) {
+        // The kernel backward takes both upstream grads at once; each output
+        // node contributes its own grad with the other slot zeroed, and the
+        // shared parents accumulate both contributions.
+        auto bwd = [px, ph, num_bins, tail_bound, nb](const Matrix& gy,
+                                                      const Matrix& gld) {
+            Matrix gx(px->value.rows(), px->value.cols());
+            Matrix gh(ph->value.rows(), ph->value.cols());
+            linalg::kernels::rqs_bwd_rows(
+                px->value.data(), ph->value.data(), nb, num_bins, tail_bound,
+                gy.data(), gld.data(), gx.data(), gh.data(), 0,
+                px->value.rows());
+            accumulate(*px, gx);
+            accumulate(*ph, gh);
+        };
+        ynode->backward = [bwd, n](Node& self) {
+            bwd(self.grad, Matrix(n, 1));
+        };
+        lnode->backward = [bwd, n, nb](Node& self) {
+            bwd(Matrix(n, nb), self.grad);
+        };
+    }
+    return {Var(ynode), Var(lnode)};
+}
+
 Var sum(const Var& a) {
     auto pa = a.node();
     Matrix s(1, 1);

@@ -40,6 +40,21 @@ Var square_v(const Var& a);
 /// Element-wise product with a constant (non-differentiated) matrix.
 Var hadamard_const(const Var& a, const linalg::Matrix& c);
 
+// --- fused coupling transforms -------------------------------------------------
+/// Differentiable monotone rational-quadratic spline transform (DESIGN.md
+/// §14). `xb` (n x nb) holds the transformed coordinates; `h`
+/// (n x nb·(3·num_bins+1)) the raw conditioner output, one param group per
+/// column of xb. Returns y (n x nb) and the per-row log|det J| (n x 1).
+/// Values come from the dispatched kernels::rqs_fwd_rows, so the tape and
+/// value paths agree bitwise; the backward pass is the analytic
+/// kernels::rqs_bwd_rows (property-tested against finite differences).
+struct RqsForward {
+    Var y;
+    Var log_det;
+};
+RqsForward rqs_forward(const Var& xb, const Var& h, std::size_t num_bins,
+                       double tail_bound);
+
 // --- reductions ----------------------------------------------------------------
 /// Sum of all elements -> 1x1.
 Var sum(const Var& a);

@@ -52,8 +52,11 @@ LevelSchedule auto_levels(estimators::CountedProblem& problem,
         throw BadInputError(os.str());
     }
     std::sort(gv.begin(), gv.end());
-    const auto qi = static_cast<std::size_t>(
-        cfg.head_quantile * static_cast<double>(gv.size() - 1));
+    // Nearest-rank index: round, don't floor. Truncation picks a
+    // systematically optimistic (lower) first level on small pilots —
+    // e.g. n = 11, q = 0.95 lands on rank 9 instead of 10.
+    const auto qi = static_cast<std::size_t>(std::llround(
+        cfg.head_quantile * static_cast<double>(gv.size() - 1)));
     double a1 = gv[qi];
     if (a1 <= 0.0) {
         // The event is not rare at the pilot quantile; a single level

@@ -72,8 +72,12 @@ std::uint64_t run_fingerprint(const NofisConfig& cfg,
     for (std::size_t h : cfg.hidden) fp.add(static_cast<std::uint64_t>(h));
     fp.add(cfg.scale_cap)
         .add(static_cast<std::uint64_t>(cfg.coupling))
-        .add(static_cast<std::uint64_t>(cfg.use_actnorm))
-        .add(static_cast<std::uint64_t>(cfg.epochs))
+        .add(static_cast<std::uint64_t>(cfg.use_actnorm));
+    // Spline knobs fold in only for rqs runs so every pre-rqs fingerprint
+    // (and thus every existing checkpoint) stays valid.
+    if (cfg.coupling == flow::CouplingKind::kRqs)
+        fp.add(static_cast<std::uint64_t>(cfg.rqs_bins)).add(cfg.rqs_tail);
+    fp.add(static_cast<std::uint64_t>(cfg.epochs))
         .add(static_cast<std::uint64_t>(cfg.samples_per_epoch))
         .add(cfg.learning_rate)
         .add(cfg.lr_decay)
@@ -142,6 +146,8 @@ NofisEstimator::RunResult NofisEstimator::run(
     scfg.scale_cap = cfg_.scale_cap;
     scfg.coupling = cfg_.coupling;
     scfg.use_actnorm = cfg_.use_actnorm;
+    scfg.rqs_bins = cfg_.rqs_bins;
+    scfg.rqs_tail = cfg_.rqs_tail;
     rng::Engine init_eng = eng.split();
     auto stack = std::make_unique<flow::CouplingStack>(scfg, init_eng);
 

@@ -22,6 +22,12 @@ struct NofisConfig {
     double scale_cap = 2.0;                     ///< log-scale bound per layer
     flow::CouplingKind coupling = flow::CouplingKind::kAffine;
     bool use_actnorm = false;                   ///< Glow-style ActNorm layers
+    std::size_t rqs_bins = 8;  ///< spline bins per dim (coupling == kRqs)
+    /// Spline half-width B (coupling == kRqs). Wider than the NSF image
+    /// convention (3) because the spline is the identity outside [-B, B]
+    /// and rare failure regions live at 4-6σ — a box that excludes them
+    /// leaves the flow unable to move mass onto the failure set at all.
+    double rqs_tail = 5.0;
 
     // Per-stage training (the inner loop of Algorithm 1).
     std::size_t epochs = 20;              ///< E — updates per stage

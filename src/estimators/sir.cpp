@@ -2,21 +2,62 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
+#include "linalg/solver_error.hpp"
 #include "nn/trainer.hpp"
 #include "rng/normal.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace nofis::estimators {
 
 EstimateResult SirEstimator::estimate(const RareEventProblem& raw,
                                       rng::Engine& eng) const {
+    // Validate the budget up front: train_samples == 0 leaves nothing to
+    // fit, and surrogate_evals == 0 would divide hits by zero below and
+    // surface as a silent NaN estimate.
+    if (cfg_.train_samples == 0)
+        throw BadInputError("SirEstimator: train_samples must be > 0");
+    if (cfg_.surrogate_evals == 0)
+        throw BadInputError(
+            "SirEstimator: surrogate_evals must be > 0");
+
     CountedProblem problem(raw);
     const std::size_t d = problem.dim();
 
     // Labelled training set — this is the entire g-call budget.
-    const linalg::Matrix x =
+    const linalg::Matrix x_all =
         rng::standard_normal_matrix(eng, cfg_.train_samples, d);
-    const std::vector<double> gv = problem.g_rows(x);
+    const std::vector<double> gv_all = problem.g_rows(x_all);
+
+    // A guarded problem can hand back NaN/inf g-values (propagate policy,
+    // or clamp_value = inf). A single NaN poisons the mean/sd
+    // standardisation below — every target and the hit threshold go NaN and
+    // the estimate silently collapses — so drop non-finite rows exactly
+    // like auto_levels does with its pilot, and fail loudly when too few
+    // survive to fit a surrogate.
+    std::vector<std::size_t> keep;
+    keep.reserve(gv_all.size());
+    for (std::size_t r = 0; r < gv_all.size(); ++r)
+        if (std::isfinite(gv_all[r])) keep.push_back(r);
+    const std::size_t dropped = gv_all.size() - keep.size();
+    if (dropped > 0) telemetry::count("sir.train_rows_nonfinite", dropped);
+    const std::size_t min_finite =
+        std::max<std::size_t>(2, cfg_.train_samples / 10);
+    if (keep.size() < min_finite) {
+        std::ostringstream os;
+        os << "SirEstimator: only " << keep.size() << " of " << gv_all.size()
+           << " training g-values are finite (" << dropped
+           << " dropped); need at least " << min_finite
+           << " to fit a surrogate";
+        throw BadInputError(os.str());
+    }
+    linalg::Matrix x(keep.size(), d);
+    std::vector<double> gv(keep.size());
+    for (std::size_t r = 0; r < keep.size(); ++r) {
+        for (std::size_t c = 0; c < d; ++c) x(r, c) = x_all(keep[r], c);
+        gv[r] = gv_all[keep[r]];
+    }
 
     // Standardise targets so MSE training is well-scaled for g-ranges from
     // O(1) (circuits) to O(1e4) (Rosenbrock).

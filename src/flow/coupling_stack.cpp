@@ -22,6 +22,10 @@ CouplingStack::CouplingStack(const StackConfig& cfg, rng::Engine& eng)
         if (cfg.coupling == CouplingKind::kAffine)
             layers_.push_back(std::make_unique<AffineCoupling>(
                 cfg.dim, first_half, cfg.hidden, eng, cfg.scale_cap));
+        else if (cfg.coupling == CouplingKind::kRqs)
+            layers_.push_back(std::make_unique<RqsCoupling>(
+                cfg.dim, first_half, cfg.hidden, eng, cfg.rqs_bins,
+                cfg.rqs_tail));
         else
             layers_.push_back(std::make_unique<AdditiveCoupling>(
                 cfg.dim, first_half, cfg.hidden, eng));

@@ -7,6 +7,7 @@
 #include "flow/actnorm.hpp"
 #include "flow/additive_coupling.hpp"
 #include "flow/coupling.hpp"
+#include "flow/rqs_coupling.hpp"
 
 namespace nofis::flow {
 
@@ -14,6 +15,7 @@ namespace nofis::flow {
 enum class CouplingKind {
     kAffine,    ///< RealNVP (the paper's backbone)
     kAdditive,  ///< NICE — volume-preserving ablation
+    kRqs,       ///< monotone rational-quadratic splines (DESIGN.md §14)
 };
 
 /// Configuration for a block-structured coupling stack.
@@ -27,6 +29,11 @@ struct StackConfig {
     /// Insert a trainable ActNorm in front of every coupling (Glow-style);
     /// the extra layers belong to the same block for freezing purposes.
     bool use_actnorm = false;
+    /// Spline bins per transformed dim (kRqs only).
+    std::size_t rqs_bins = 8;
+    /// Spline interval half-width B — identity tails outside [-B, B]
+    /// (kRqs only).
+    double rqs_tail = 3.0;
 };
 
 /// A stack of M·K affine couplings with the paper's anchor semantics:

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "linalg/kernels/kernels.hpp"
 #include "util/atomic_file.hpp"
 #include "util/ios_guard.hpp"
 
@@ -40,9 +41,28 @@ void save_stack(const CouplingStack& stack, std::ostream& os) {
     const StackConfig& cfg = stack.config();
     os << kMagic << '\n';
     os << cfg.dim << ' ' << cfg.num_blocks << ' ' << cfg.layers_per_block
-       << ' ' << cfg.scale_cap << ' '
-       << (cfg.coupling == CouplingKind::kAffine ? "affine" : "additive")
-       << ' ' << (cfg.use_actnorm ? 1 : 0) << '\n';
+       << ' ' << cfg.scale_cap << ' ';
+    switch (cfg.coupling) {
+        case CouplingKind::kAffine:
+            os << "affine";
+            break;
+        case CouplingKind::kAdditive:
+            os << "additive";
+            break;
+        case CouplingKind::kRqs:
+            os << "rqs";
+            break;
+    }
+    os << ' ' << (cfg.use_actnorm ? 1 : 0);
+    // The spline header fields ride only on the "rqs" tag, so affine and
+    // additive files stay byte-identical to the pre-rqs format (and old
+    // readers reject rqs files at the kind token with a clear message).
+    if (cfg.coupling == CouplingKind::kRqs) {
+        const util::IosStateGuard guard(os);
+        os << ' ' << cfg.rqs_bins << ' ' << std::setprecision(17)
+           << cfg.rqs_tail;
+    }
+    os << '\n';
     os << cfg.hidden.size();
     for (auto h : cfg.hidden) os << ' ' << h;
     os << '\n';
@@ -83,11 +103,20 @@ CouplingStack load_stack(std::istream& is) {
     is >> cfg.dim >> cfg.num_blocks >> cfg.layers_per_block >>
         cfg.scale_cap >> kind >> actnorm;
     if (!is) fail("truncated header");
-    if (kind != "affine" && kind != "additive")
+    if (kind != "affine" && kind != "additive" && kind != "rqs")
         fail("unknown coupling kind '" + kind + "'");
-    cfg.coupling =
-        kind == "affine" ? CouplingKind::kAffine : CouplingKind::kAdditive;
+    cfg.coupling = kind == "affine"     ? CouplingKind::kAffine
+                   : kind == "additive" ? CouplingKind::kAdditive
+                                        : CouplingKind::kRqs;
     cfg.use_actnorm = actnorm != 0;
+    if (cfg.coupling == CouplingKind::kRqs) {
+        is >> cfg.rqs_bins >> cfg.rqs_tail;
+        if (!is) fail("truncated rqs header");
+        check_bound("rqs bin count", cfg.rqs_bins, 1,
+                    linalg::kernels::kMaxRqsBins);
+        if (!std::isfinite(cfg.rqs_tail) || cfg.rqs_tail <= 0.0)
+            fail("implausible rqs tail bound in header (corrupt file?)");
+    }
     check_bound("dim", cfg.dim, 1, kMaxDim);
     check_bound("block count", cfg.num_blocks, 1, kMaxBlocks);
     check_bound("layers per block", cfg.layers_per_block, 1,

@@ -5,7 +5,15 @@
 namespace nofis::flow {
 
 std::string coupling_kind_name(CouplingKind kind) {
-    return kind == CouplingKind::kAffine ? "affine" : "additive";
+    switch (kind) {
+        case CouplingKind::kAffine:
+            return "affine";
+        case CouplingKind::kAdditive:
+            return "additive";
+        case CouplingKind::kRqs:
+            return "rqs";
+    }
+    return "affine";
 }
 
 StackInfo stack_info(const CouplingStack& stack) {
@@ -18,6 +26,10 @@ StackInfo stack_info(const CouplingStack& stack) {
     info.use_actnorm = cfg.use_actnorm;
     info.hidden = cfg.hidden;
     info.scale_cap = cfg.scale_cap;
+    if (cfg.coupling == CouplingKind::kRqs) {
+        info.rqs_bins = cfg.rqs_bins;
+        info.rqs_tail = cfg.rqs_tail;
+    }
     for (const auto& p : stack.params()) {
         ++info.param_tensors;
         info.param_values += p.value().rows() * p.value().cols();

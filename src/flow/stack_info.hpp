@@ -18,11 +18,14 @@ struct StackInfo {
     bool use_actnorm = false;
     std::vector<std::size_t> hidden;
     double scale_cap = 0.0;
+    std::size_t rqs_bins = 0;   ///< spline bins (0 unless coupling == kRqs)
+    double rqs_tail = 0.0;      ///< spline half-width (0 unless kRqs)
     std::size_t param_tensors = 0;  ///< parameter matrices in the stack
     std::size_t param_values = 0;   ///< total scalar parameters
 };
 
-/// "affine" / "additive" — the same tokens the .nofisflow header uses.
+/// "affine" / "additive" / "rqs" — the same tokens the .nofisflow header
+/// uses.
 std::string coupling_kind_name(CouplingKind kind);
 
 /// Introspects an in-memory stack.

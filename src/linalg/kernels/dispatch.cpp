@@ -28,6 +28,9 @@ Table splice(Table base, const Table* overlay) {
         base.affine_inv_rows = overlay->affine_inv_rows;
     if (overlay->scale_shift_rows)
         base.scale_shift_rows = overlay->scale_shift_rows;
+    if (overlay->rqs_fwd_rows) base.rqs_fwd_rows = overlay->rqs_fwd_rows;
+    if (overlay->rqs_inv_rows) base.rqs_inv_rows = overlay->rqs_inv_rows;
+    if (overlay->rqs_bwd_rows) base.rqs_bwd_rows = overlay->rqs_bwd_rows;
     if (overlay->ew_add) base.ew_add = overlay->ew_add;
     if (overlay->ew_sub) base.ew_sub = overlay->ew_sub;
     if (overlay->ew_mul) base.ew_mul = overlay->ew_mul;
@@ -143,6 +146,30 @@ void scale_shift_rows(const double* x, const double* scale,
                       const double* shift, double* y, std::size_t dim,
                       std::size_t r0, std::size_t r1) {
     active_table().scale_shift_rows(x, scale, shift, y, dim, r0, r1);
+}
+
+void rqs_fwd_rows(const double* x, const double* h, const std::size_t* idx_b,
+                  std::size_t nb, std::size_t num_bins, double tail_bound,
+                  std::size_t dim, double* y, double* log_det, std::size_t r0,
+                  std::size_t r1) {
+    active_table().rqs_fwd_rows(x, h, idx_b, nb, num_bins, tail_bound, dim, y,
+                                log_det, r0, r1);
+}
+
+void rqs_inv_rows(const double* y, const double* h, const std::size_t* idx_b,
+                  std::size_t nb, std::size_t num_bins, double tail_bound,
+                  std::size_t dim, double* x, double* log_det, std::size_t r0,
+                  std::size_t r1) {
+    active_table().rqs_inv_rows(y, h, idx_b, nb, num_bins, tail_bound, dim, x,
+                                log_det, r0, r1);
+}
+
+void rqs_bwd_rows(const double* xb, const double* h, std::size_t nb,
+                  std::size_t num_bins, double tail_bound, const double* gy,
+                  const double* gld, double* gx, double* gh, std::size_t r0,
+                  std::size_t r1) {
+    active_table().rqs_bwd_rows(xb, h, nb, num_bins, tail_bound, gy, gld, gx,
+                                gh, r0, r1);
 }
 
 void ew_add(const double* a, const double* b, double* out, std::size_t n) {

@@ -110,6 +110,50 @@ void scale_shift_rows(const double* x, const double* scale,
                       const double* shift, double* y, std::size_t dim,
                       std::size_t r0, std::size_t r1);
 
+// --- rational-quadratic spline coupling (DESIGN.md §14) ----------------------
+// Monotone RQS transform (Durkan et al., "Neural Spline Flows"): per
+// transformed column j the conditioner provides 3·num_bins+1 raw params
+// (num_bins widths, num_bins heights, num_bins+1 knot derivatives) mapped
+// to a spline on [-tail_bound, tail_bound] with identity tails. `h` rows
+// are laid out as nb consecutive param groups of size 3·num_bins+1.
+//
+// These kernels currently ship only the scalar reference implementation:
+// the `simd` table points at the very same function (an explicit,
+// documented fallback), so the scalar ≡ simd bitwise contract holds
+// trivially. Unlike the affine kernels they may call libm log/sqrt/log1p —
+// safe precisely because no independently-rounded vector variant exists;
+// a future vectorized flavour must port those first (see scalar_math.hpp).
+
+/// Hard cap on spline bins: lets the kernels use fixed stack buffers.
+inline constexpr std::size_t kMaxRqsBins = 32;
+
+/// Forward spline transform for rows [r0, r1): for each j < nb,
+/// y[i, idx_b[j]] = RQS(x[i, idx_b[j]]; h[i, j-th group]) and
+/// log_det[i] += Σ_j log RQS'(x) (ascending j). Passthrough columns of y
+/// must already hold x's values (callers copy x into y first).
+void rqs_fwd_rows(const double* x, const double* h, const std::size_t* idx_b,
+                  std::size_t nb, std::size_t num_bins, double tail_bound,
+                  std::size_t dim, double* y, double* log_det, std::size_t r0,
+                  std::size_t r1);
+
+/// Analytic inverse of rqs_fwd_rows, with the *forward* log-det at the
+/// reconstructed input added into log_det — the conditioner input (the
+/// passthrough half) is identical in both directions.
+void rqs_inv_rows(const double* y, const double* h, const std::size_t* idx_b,
+                  std::size_t nb, std::size_t num_bins, double tail_bound,
+                  std::size_t dim, double* x, double* log_det, std::size_t r0,
+                  std::size_t r1);
+
+/// Reverse-mode backward of the forward transform on COMPACT inputs
+/// (xb is rows x nb — transformed columns only). Given upstream grads
+/// gy (rows x nb, ∂L/∂y elementwise) and gld (rows x 1, ∂L/∂log_det row
+/// sums), ADDS ∂L/∂x into gx (rows x nb) and ∂L/∂h into gh (same layout
+/// as h). Callers zero-initialise gx/gh.
+void rqs_bwd_rows(const double* xb, const double* h, std::size_t nb,
+                  std::size_t num_bins, double tail_bound, const double* gy,
+                  const double* gld, double* gx, double* gh, std::size_t r0,
+                  std::size_t r1);
+
 // --- flat elementwise kernels (autodiff value & backward phases) -------------
 // `out` may alias `a` (in-place accumulate forms); n may be 0.
 

@@ -219,6 +219,14 @@ const Table& portable_table() {
         tab.affine_fwd_rows = affine_fwd_rows_portable;
         tab.affine_inv_rows = affine_inv_rows_portable;
         tab.scale_shift_rows = scale_shift_rows_portable;
+        // The RQS spline kernels have no vectorized flavour yet: the data
+        // layout is a per-element O(K) scan with two libm logs, so the simd
+        // table deliberately reuses the scalar reference — the bitwise
+        // scalar ≡ simd contract then holds with zero risk. Revisit if the
+        // spline path ever shows up in profiles (kernels.hpp note).
+        tab.rqs_fwd_rows = scalar_table().rqs_fwd_rows;
+        tab.rqs_inv_rows = scalar_table().rqs_inv_rows;
+        tab.rqs_bwd_rows = scalar_table().rqs_bwd_rows;
         tab.ew_add = ew_add_portable;
         tab.ew_sub = ew_sub_portable;
         tab.ew_mul = ew_mul_portable;

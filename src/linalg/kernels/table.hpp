@@ -26,6 +26,15 @@ struct Table {
     void (*scale_shift_rows)(const double*, const double*, const double*,
                              double*, std::size_t, std::size_t,
                              std::size_t) = nullptr;
+    void (*rqs_fwd_rows)(const double*, const double*, const std::size_t*,
+                         std::size_t, std::size_t, double, std::size_t,
+                         double*, double*, std::size_t, std::size_t) = nullptr;
+    void (*rqs_inv_rows)(const double*, const double*, const std::size_t*,
+                         std::size_t, std::size_t, double, std::size_t,
+                         double*, double*, std::size_t, std::size_t) = nullptr;
+    void (*rqs_bwd_rows)(const double*, const double*, std::size_t,
+                         std::size_t, double, const double*, const double*,
+                         double*, double*, std::size_t, std::size_t) = nullptr;
     void (*ew_add)(const double*, const double*, double*,
                    std::size_t) = nullptr;
     void (*ew_sub)(const double*, const double*, double*,

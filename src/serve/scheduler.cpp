@@ -459,6 +459,13 @@ Response BatchScheduler::run_admin(Pending& p) {
                            Json::number_u64(info.layers_per_block));
                 result.set("coupling", Json::string(flow::coupling_kind_name(
                                            info.coupling)));
+                // Spline knobs only exist for rqs stacks; keeping them out
+                // of affine/additive responses leaves those byte-identical
+                // to pre-rqs servers.
+                if (info.coupling == flow::CouplingKind::kRqs) {
+                    result.set("rqs_bins", Json::number_u64(info.rqs_bins));
+                    result.set("rqs_tail", Json::number(info.rqs_tail));
+                }
                 result.set("actnorm", Json::boolean(info.use_actnorm));
                 Json hidden = Json::array();
                 for (std::size_t h : info.hidden)

@@ -264,6 +264,72 @@ TEST(StructuralOps, ShapeMismatchThrows) {
     EXPECT_THROW(dot_constant(a, Matrix(1, 1)), std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------------
+// Rational-quadratic spline op
+// ---------------------------------------------------------------------------
+
+TEST(RqsForward, GradChecksInput) {
+    // 3 transformed dims, 4 bins → 13 raw params per dim. Random raw params
+    // exercise non-uniform bins and knot slopes; gradcheck covers both the
+    // y and log-det outputs.
+    const std::size_t bins = 4;
+    const Matrix h0 = random_matrix(31, 5, 3 * (3 * bins + 1));
+    Matrix xb0 = random_matrix(32, 5, 3);
+    // Keep inputs away from ±tail_bound (derivative kink) and bin knots are
+    // random so clashes are measure-zero.
+    for (double& v : xb0.flat()) v *= 0.8;
+    const auto res = grad_check(
+        [&h0, bins](const Var& xb) {
+            auto f = rqs_forward(xb, Var(h0, false), bins, 3.0);
+            return add(sum(square_v(f.y)), sum(f.log_det));
+        },
+        xb0);
+    EXPECT_TRUE(res.passed) << res.max_rel_error;
+}
+
+TEST(RqsForward, GradChecksParams) {
+    // Perturbing h moves every raw-parameter group (widths, heights,
+    // derivatives) through softmax/softplus into the spline.
+    const std::size_t bins = 4;
+    Matrix xb0 = random_matrix(33, 5, 2);
+    for (double& v : xb0.flat()) v *= 0.8;
+    const Matrix h0 = random_matrix(34, 5, 2 * (3 * bins + 1));
+    const auto res = grad_check(
+        [&xb0, bins](const Var& h) {
+            auto f = rqs_forward(Var(xb0, false), h, bins, 3.0);
+            return add(sum(square_v(f.y)), sum(f.log_det));
+        },
+        h0);
+    EXPECT_TRUE(res.passed) << res.max_rel_error;
+}
+
+TEST(RqsForward, TailInputsHaveUnitGradientAndZeroParamGrad) {
+    // Outside the interval the map is the identity: dy/dx = 1 and no
+    // gradient flows into the spline parameters.
+    const std::size_t bins = 4;
+    Var xb(Matrix{{5.0, -7.0}}, true);
+    Var h(random_matrix(35, 1, 2 * (3 * bins + 1)), true);
+    auto f = rqs_forward(xb, h, bins, 3.0);
+    EXPECT_DOUBLE_EQ(f.y.value()(0, 0), 5.0);
+    EXPECT_DOUBLE_EQ(f.y.value()(0, 1), -7.0);
+    EXPECT_DOUBLE_EQ(f.log_det.value()(0, 0), 0.0);
+    sum(f.y).backward();
+    EXPECT_DOUBLE_EQ(xb.grad()(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(xb.grad()(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(h.grad().max_abs(), 0.0);
+}
+
+TEST(RqsForward, ValidatesShapes) {
+    Var xb(Matrix(2, 3), true);
+    Var h(Matrix(2, 3 * 13), true);
+    EXPECT_NO_THROW(rqs_forward(xb, h, 4, 3.0));
+    EXPECT_THROW(rqs_forward(xb, Var(Matrix(2, 5)), 4, 3.0),
+                 std::invalid_argument);
+    EXPECT_THROW(rqs_forward(Var(Matrix(3, 3)), h, 4, 3.0),
+                 std::invalid_argument);
+    EXPECT_THROW(rqs_forward(xb, h, 0, 3.0), std::invalid_argument);
+}
+
 TEST(GradCheckHarness, DetectsWrongGradient) {
     // A deliberately wrong "gradient" (treating d(x^2) as 1) must fail.
     const auto res = grad_check(

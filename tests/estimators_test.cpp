@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "estimators/adaptive_is.hpp"
 #include "estimators/monte_carlo.hpp"
@@ -9,6 +10,7 @@
 #include "estimators/sss.hpp"
 #include "estimators/suc.hpp"
 #include "estimators/sus.hpp"
+#include "linalg/solver_error.hpp"
 #include "rng/normal.hpp"
 #include "testcases/synthetic.hpp"
 
@@ -193,6 +195,69 @@ TEST(Sir, LearnsSmoothBoundary) {
     const auto res = sir.estimate(prob, eng);
     EXPECT_EQ(res.calls, 20000u);
     EXPECT_LT(estimators::log_error(res.p_hat, prob.analytic()), 1.0);
+}
+
+/// Wraps another problem and returns NaN for a deterministic fraction of
+/// calls — the shape of a guarded problem running under the propagate
+/// policy.
+class SometimesNan final : public RareEventProblem {
+public:
+    SometimesNan(const RareEventProblem& inner, std::size_t every)
+        : inner_(inner), every_(every) {}
+    std::size_t dim() const noexcept override { return inner_.dim(); }
+    double g(std::span<const double> x) const override {
+        if (++calls_ % every_ == 0)
+            return std::numeric_limits<double>::quiet_NaN();
+        return inner_.g(x);
+    }
+
+private:
+    const RareEventProblem& inner_;
+    std::size_t every_;
+    mutable std::size_t calls_ = 0;
+};
+
+TEST(Sir, NonFiniteTrainingRowsAreDroppedNotPoisonous) {
+    // Regression: one NaN g-value used to poison the mean/sd
+    // standardisation — every target went NaN and the surrogate trained on
+    // garbage, collapsing the estimate. Now the rows are stripped and the
+    // estimate stays in the same ballpark as the clean run.
+    HalfSpace clean(4, 3.0);
+    SometimesNan dirty(clean, 50);  // 2% of training rows go NaN
+    estimators::SirEstimator sir(
+        {.train_samples = 20000, .surrogate_evals = 400000,
+         .hidden = {32, 32}, .epochs = 40});
+    rng::Engine eng(8);
+    const auto res = sir.estimate(dirty, eng);
+    EXPECT_TRUE(std::isfinite(res.p_hat));
+    EXPECT_GT(res.p_hat, 0.0);
+    EXPECT_LT(estimators::log_error(res.p_hat, clean.analytic()), 1.0);
+}
+
+TEST(Sir, AllNanTrainingSetFailsLoudly) {
+    HalfSpace clean(3, 2.0);
+    SometimesNan dirty(clean, 1);  // every call returns NaN
+    estimators::SirEstimator sir(
+        {.train_samples = 200, .surrogate_evals = 1000, .hidden = {8}});
+    rng::Engine eng(9);
+    EXPECT_THROW(sir.estimate(dirty, eng), nofis::BadInputError);
+}
+
+TEST(Sir, ZeroBudgetsAreRejectedUpFront) {
+    // surrogate_evals == 0 used to divide hits by zero and surface as a
+    // silent NaN p_hat; train_samples == 0 trained on nothing.
+    HalfSpace prob(3, 2.0);
+    rng::Engine eng(10);
+    {
+        estimators::SirEstimator sir(
+            {.train_samples = 100, .surrogate_evals = 0, .hidden = {8}});
+        EXPECT_THROW(sir.estimate(prob, eng), nofis::BadInputError);
+    }
+    {
+        estimators::SirEstimator sir(
+            {.train_samples = 0, .surrogate_evals = 1000, .hidden = {8}});
+        EXPECT_THROW(sir.estimate(prob, eng), nofis::BadInputError);
+    }
 }
 
 TEST(Suc, EstimatesModeratelyRareHalfSpace) {

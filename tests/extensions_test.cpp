@@ -118,8 +118,80 @@ TEST_P(SerializeVariant, RoundTripPreservesDensitiesExactly) {
 INSTANTIATE_TEST_SUITE_P(
     Kinds, SerializeVariant,
     ::testing::Combine(::testing::Values(flow::CouplingKind::kAffine,
-                                         flow::CouplingKind::kAdditive),
+                                         flow::CouplingKind::kAdditive,
+                                         flow::CouplingKind::kRqs),
                        ::testing::Bool()));
+
+TEST(Serialize, RqsRoundTripIsBitwiseStable) {
+    // save → load → save must reproduce the file byte for byte, including
+    // the spline header fields (bins, full-precision tail bound).
+    flow::StackConfig cfg;
+    cfg.dim = 3;
+    cfg.num_blocks = 2;
+    cfg.layers_per_block = 2;
+    cfg.hidden = {8};
+    cfg.coupling = flow::CouplingKind::kRqs;
+    cfg.rqs_bins = 5;
+    cfg.rqs_tail = 2.5;
+    rng::Engine eng(8);
+    flow::CouplingStack stack(cfg, eng);
+    rng::Engine weights(9);
+    for (auto& p : stack.params())
+        for (double& v : p.mutable_value().flat())
+            v = 0.2 * rng::standard_normal(weights);
+
+    std::stringstream first;
+    flow::save_stack(stack, first);
+    const auto loaded = flow::load_stack(first);
+    EXPECT_EQ(loaded.config().rqs_bins, 5u);
+    EXPECT_EQ(loaded.config().rqs_tail, 2.5);
+    std::stringstream second;
+    flow::save_stack(loaded, second);
+    EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Serialize, NonRqsFilesCarryNoSplineFields) {
+    // The rqs header fields ride only on the "rqs" tag: an affine stack
+    // saves byte-identically whatever the (ignored) spline knobs say, so
+    // pre-rqs readers and files are unaffected by this release.
+    auto cfg_of = [](std::size_t bins, double tail) {
+        flow::StackConfig cfg;
+        cfg.dim = 3;
+        cfg.num_blocks = 1;
+        cfg.layers_per_block = 2;
+        cfg.hidden = {6};
+        cfg.coupling = flow::CouplingKind::kAffine;
+        cfg.rqs_bins = bins;
+        cfg.rqs_tail = tail;
+        return cfg;
+    };
+    rng::Engine e1(10);
+    rng::Engine e2(10);
+    const flow::CouplingStack a(cfg_of(8, 3.0), e1);
+    const flow::CouplingStack b(cfg_of(31, 0.125), e2);
+    std::stringstream sa;
+    std::stringstream sb;
+    flow::save_stack(a, sa);
+    flow::save_stack(b, sb);
+    EXPECT_EQ(sa.str(), sb.str());
+    EXPECT_EQ(sa.str().find("rqs"), std::string::npos);
+}
+
+TEST(Serialize, RqsHeaderIsValidated) {
+    // Zero bins, absurd bins, non-finite/negative tail, truncated spline
+    // fields: each must fail with the structured error, never construct.
+    const char* bad[] = {
+        "nofisflow-v1\n2 1 2 2.0 rqs 0 0 3.0\n1 4\n",
+        "nofisflow-v1\n2 1 2 2.0 rqs 0 999 3.0\n1 4\n",
+        "nofisflow-v1\n2 1 2 2.0 rqs 0 8 -1.0\n1 4\n",
+        "nofisflow-v1\n2 1 2 2.0 rqs 0 8 nan\n1 4\n",
+        "nofisflow-v1\n2 1 2 2.0 rqs 0\n",
+    };
+    for (const char* text : bad) {
+        std::istringstream is(text);
+        EXPECT_THROW(flow::load_stack(is), std::runtime_error) << text;
+    }
+}
 
 TEST(Serialize, SamplingMatchesAfterRoundTrip) {
     const auto original =

@@ -1,5 +1,6 @@
-// Tests for the flow-layer extensions: NICE additive couplings, ActNorm,
-// and the polymorphic CouplingStack variants built from them.
+// Tests for the flow-layer extensions: NICE additive couplings, rational-
+// quadratic spline couplings, ActNorm, and the polymorphic CouplingStack
+// variants built from them.
 
 #include <gtest/gtest.h>
 
@@ -9,6 +10,7 @@
 #include "flow/actnorm.hpp"
 #include "flow/additive_coupling.hpp"
 #include "flow/coupling_stack.hpp"
+#include "flow/rqs_coupling.hpp"
 #include "linalg/lu.hpp"
 #include "rng/normal.hpp"
 
@@ -20,6 +22,7 @@ using flow::ActNorm;
 using flow::AdditiveCoupling;
 using flow::CouplingKind;
 using flow::CouplingStack;
+using flow::RqsCoupling;
 using flow::StackConfig;
 using linalg::Matrix;
 using rng::Engine;
@@ -28,6 +31,17 @@ AdditiveCoupling randomized_additive(std::size_t dim, bool first,
                                      std::uint64_t seed) {
     Engine eng(seed);
     AdditiveCoupling layer(dim, first, {16}, eng);
+    Engine weights(seed + 1);
+    for (auto& p : layer.params())
+        for (double& v : p.mutable_value().flat())
+            v = 0.3 * rng::standard_normal(weights);
+    return layer;
+}
+
+RqsCoupling randomized_rqs(std::size_t dim, bool first, std::uint64_t seed,
+                           std::size_t bins = 8, double tail = 3.0) {
+    Engine eng(seed);
+    RqsCoupling layer(dim, first, {16}, eng, bins, tail);
     Engine weights(seed + 1);
     for (auto& p : layer.params())
         for (double& v : p.mutable_value().flat())
@@ -86,6 +100,107 @@ TEST(AdditiveCoupling, GraphMatchesValuesAndGradChecks) {
     const auto res = autodiff::grad_check(
         [&layer](const Var& v) {
             return autodiff::sum(autodiff::square_v(layer.forward(v).y));
+        },
+        x, 1e-5, 1e-5);
+    EXPECT_TRUE(res.passed) << res.max_rel_error;
+}
+
+// ---------------------------------------------------------------------------
+// RqsCoupling
+// ---------------------------------------------------------------------------
+
+TEST(RqsCoupling, FreshLayerIsIdentityWithZeroLogDet) {
+    // Zero-initialised output layer + the derivative offset → uniform bins,
+    // unit knot slopes: the spline must be the exact identity at init.
+    Engine eng(20);
+    RqsCoupling layer(4, true, {8}, eng);
+    const Matrix x = rng::standard_normal_matrix(eng, 6, 4);
+    std::vector<double> ld(6, 0.0);
+    EXPECT_LT(linalg::max_abs_diff(layer.forward_values(x, ld), x), 1e-12);
+    for (double v : ld) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+class RqsInvertibility : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RqsInvertibility, InverseUndoesForward) {
+    const std::size_t dim = GetParam();
+    const auto layer = randomized_rqs(dim, dim % 2 == 0, 60 + dim);
+    Engine eng(21);
+    // Scale up so a meaningful fraction of coordinates lands in the linear
+    // tails as well as the spline interior.
+    Matrix x = rng::standard_normal_matrix(eng, 32, dim);
+    for (double& v : x.flat()) v *= 2.0;
+    std::vector<double> ld(32, 0.0);
+    const Matrix y = layer.forward_values(x, ld);
+    std::vector<double> ld2(32, 0.0);
+    const Matrix x2 = layer.inverse_values(y, ld2);
+    EXPECT_LT(linalg::max_abs_diff(x2, x), 1e-12);
+    // inverse_values reports the forward log-det at the reconstructed input.
+    for (std::size_t r = 0; r < 32; ++r) EXPECT_NEAR(ld2[r], ld[r], 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, RqsInvertibility,
+                         ::testing::Values(2, 3, 5, 9));
+
+TEST(RqsCoupling, TailsAreIdentity) {
+    // Outside [-tail_bound, tail_bound] the transform is the identity with
+    // zero log-det contribution, so extreme samples pass through untouched.
+    const auto layer = randomized_rqs(4, true, 70, 8, 2.0);
+    Matrix x(2, 4);
+    for (std::size_t c = 0; c < 4; ++c) {
+        x(0, c) = 5.0 + static_cast<double>(c);
+        x(1, c) = -6.0 - static_cast<double>(c);
+    }
+    std::vector<double> ld(2, 0.0);
+    const Matrix y = layer.forward_values(x, ld);
+    for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t c = 0; c < 4; ++c) EXPECT_EQ(y(r, c), x(r, c));
+        EXPECT_EQ(ld[r], 0.0);
+    }
+}
+
+TEST(RqsCoupling, LogDetMatchesNumericalJacobian) {
+    const std::size_t dim = 5;
+    const auto layer = randomized_rqs(dim, false, 71);
+    Engine eng(22);
+    const Matrix x = rng::standard_normal_matrix(eng, 1, dim);
+    std::vector<double> ld(1, 0.0);
+    layer.forward_values(x, ld);
+
+    const double eps = 1e-6;
+    Matrix jac(dim, dim);
+    for (std::size_t c = 0; c < dim; ++c) {
+        Matrix xp = x, xm = x;
+        xp(0, c) += eps;
+        xm(0, c) -= eps;
+        std::vector<double> tmp(1, 0.0);
+        const Matrix yp = layer.forward_values(xp, tmp);
+        tmp[0] = 0.0;
+        const Matrix ym = layer.forward_values(xm, tmp);
+        for (std::size_t r = 0; r < dim; ++r)
+            jac(r, c) = (yp(0, r) - ym(0, r)) / (2.0 * eps);
+    }
+    const linalg::LuDecomposition lu(jac);
+    EXPECT_NEAR(ld[0], lu.log_abs_determinant(), 1e-6);
+}
+
+TEST(RqsCoupling, GraphMatchesValuesAndGradChecks) {
+    const auto layer = randomized_rqs(4, false, 72);
+    Engine eng(23);
+    const Matrix x = rng::standard_normal_matrix(eng, 5, 4);
+    std::vector<double> ld(5, 0.0);
+    const Matrix y = layer.forward_values(x, ld);
+    // Tape and value paths share the dispatched spline kernels, so they
+    // agree bitwise, not just to tolerance (DESIGN.md §13).
+    const auto fwd = layer.forward(Var(x));
+    EXPECT_EQ(linalg::max_abs_diff(fwd.y.value(), y), 0.0);
+    for (std::size_t r = 0; r < 5; ++r)
+        EXPECT_EQ(fwd.log_det.value()(r, 0), ld[r]);
+    const auto res = autodiff::grad_check(
+        [&layer](const Var& v) {
+            auto f = layer.forward(v);
+            return autodiff::add(autodiff::sum(autodiff::square_v(f.y)),
+                                 autodiff::sum(f.log_det));
         },
         x, 1e-5, 1e-5);
     EXPECT_TRUE(res.passed) << res.max_rel_error;
@@ -200,7 +315,8 @@ TEST_P(StackVariant, FreezeCoversAllBlockLayers) {
 INSTANTIATE_TEST_SUITE_P(
     Kinds, StackVariant,
     ::testing::Combine(::testing::Values(CouplingKind::kAffine,
-                                         CouplingKind::kAdditive),
+                                         CouplingKind::kAdditive,
+                                         CouplingKind::kRqs),
                        ::testing::Bool()));
 
 TEST(StackVariant, AdditiveStackHasUniformDensityAlongPath) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <string>
@@ -124,6 +125,37 @@ TEST(AutoLevels, StripsNonFinitePilotValuesBeforeQuantile) {
     for (std::size_t m = 1; m < 4; ++m) EXPECT_LT(ls.level(m), ls.level(m - 1));
     // The finite-subset quantile still lands near the analytic value.
     EXPECT_NEAR(ls.level(0), 1.72, 0.4);
+}
+
+/// Returns the call number (1, 2, 3, ...) regardless of input: after
+/// sorting, an n-sample pilot's g-values are exactly {1, ..., n}, so the
+/// quantile rank the implementation picks is directly observable.
+class CallCounterProblem final : public estimators::RareEventProblem {
+public:
+    std::size_t dim() const noexcept override { return 2; }
+    double g(std::span<const double>) const override {
+        return static_cast<double>(
+            calls_.fetch_add(1, std::memory_order_relaxed) + 1);
+    }
+
+private:
+    mutable std::atomic<std::size_t> calls_{0};
+};
+
+TEST(AutoLevels, QuantileUsesNearestRankNotFloor) {
+    // Regression for the off-by-one: with n = 11 sorted values {1..11} and
+    // q = 0.95, the nearest-rank index is llround(0.95 * 10) = 10 (value
+    // 11). Floor truncation picked index 9 (value 10) — a systematically
+    // optimistic first level on small pilots.
+    CallCounterProblem prob;
+    estimators::CountedProblem counted(prob);
+    rng::Engine eng(3);
+    core::AutoLevelConfig cfg;
+    cfg.num_levels = 3;
+    cfg.pilot_samples = 11;
+    cfg.head_quantile = 0.95;
+    const auto ls = core::auto_levels(counted, eng, cfg);
+    EXPECT_DOUBLE_EQ(ls.level(0), 11.0);
 }
 
 TEST(AutoLevels, ThrowsStructuredErrorWhenTooFewPilotsAreFinite) {
