@@ -310,6 +310,16 @@ public:
 
     bool enabled() const noexcept { return !path_.empty(); }
     telemetry::RunTrace& trace() noexcept { return trace_; }
+    const std::string& path() const noexcept { return path_; }
+
+    /// Hands the metrics file over to another writer: deactivates telemetry
+    /// and suppresses this session's write, leaving whatever that writer
+    /// put at the path untouched. The cluster front uses this after
+    /// aggregating per-worker records into the very same --metrics-out.
+    void disarm() {
+        finished_ = true;
+        telemetry::set_active(nullptr);
+    }
 
     /// Writes the JSON record (idempotent). Returns false when the file
     /// could not be written; callers that care propagate a nonzero exit.

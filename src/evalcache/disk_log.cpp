@@ -1,6 +1,12 @@
 #include "evalcache/disk_log.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <map>
@@ -15,6 +21,47 @@ namespace {
 
 constexpr char kMagic[8] = {'N', 'O', 'F', 'I', 'S', 'E', 'V', 'C'};
 constexpr std::uint32_t kVersion = 1;
+
+/// Opens the sidecar lock file guarding cross-process access to `path`.
+/// Returns -1 when it cannot be created; locking then degrades to a no-op,
+/// which is the historical single-process behaviour.
+int open_lock_file(const std::string& path) {
+    return ::open((path + ".lck").c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                  0644);
+}
+
+/// RAII flock(LOCK_EX) over a sidecar fd; no-op when fd < 0. flock locks
+/// the open file description, so two DiskLog instances exclude each other
+/// even inside one process.
+class ScopedFlock {
+public:
+    explicit ScopedFlock(int fd) : fd_(fd) {
+        if (fd_ >= 0)
+            while (::flock(fd_, LOCK_EX) != 0 && errno == EINTR) {
+            }
+    }
+    ~ScopedFlock() {
+        if (fd_ >= 0) ::flock(fd_, LOCK_UN);
+    }
+    ScopedFlock(const ScopedFlock&) = delete;
+    ScopedFlock& operator=(const ScopedFlock&) = delete;
+
+private:
+    int fd_ = -1;
+};
+
+struct FdCloser {
+    int fd = -1;
+    ~FdCloser() {
+        if (fd >= 0) ::close(fd);
+    }
+};
+
+std::uint64_t inode_of(const std::string& path) {
+    struct stat st {};
+    if (::stat(path.c_str(), &st) != 0) return 0;
+    return static_cast<std::uint64_t>(st.st_ino);
+}
 
 struct RawHeader {
     char magic[8];
@@ -101,6 +148,8 @@ std::uint64_t fnv1a64(const void* data, std::size_t n) noexcept {
 DiskLog::DiskLog(std::string path, std::string case_key, std::size_t dim)
     : path_(std::move(path)), case_key_(std::move(case_key)), dim_(dim) {
     if (dim_ == 0) throw std::runtime_error("DiskLog: dim must be positive");
+    lock_fd_ = open_lock_file(path_);
+    const ScopedFlock guard(lock_fd_);
     open_and_recover();
 }
 
@@ -111,6 +160,7 @@ DiskLog::~DiskLog() {
         // Destructor sync is best-effort; the checksummed format makes an
         // unsynced tail recoverable (truncated) on the next open.
     }
+    if (lock_fd_ >= 0) ::close(lock_fd_);
 }
 
 void DiskLog::sync() {
@@ -175,6 +225,37 @@ void DiskLog::open_and_recover() {
     if (!file_)
         throw std::runtime_error("DiskLog: cannot reopen '" + path_ + "'");
     file_.seekp(static_cast<std::streamoff>(end_));
+    body_begin_ = sizeof(RawHeader) + case_key_.size();
+    ino_ = inode_of(path_);
+}
+
+void DiskLog::reopen_if_replaced() {
+    // A compaction in another process replaced the inode (rename over the
+    // path). Our reads keep working against the old inode — this process's
+    // offsets are only valid there — but appends must land in the live file
+    // or they would vanish when the old inode's last fd closes.
+    const std::uint64_t ino = inode_of(path_);
+    if (ino == ino_ && ino != 0) return;
+    file_.close();
+    open_and_recover();
+}
+
+void DiskLog::seek_true_end() {
+    // Another process may have appended since our last look: the true end
+    // is the file size, rounded down to a record boundary (every record in
+    // one log has the same size). An unaligned tail means a writer died
+    // mid-append; truncating it repairs the log for everyone.
+    std::error_code ec;
+    const std::uint64_t size = std::filesystem::file_size(path_, ec);
+    if (ec || size < body_begin_) return;  // keep our view; append verifies
+    const std::uint64_t aligned =
+        body_begin_ + (size - body_begin_) / record_bytes() * record_bytes();
+    if (aligned < size) std::filesystem::resize_file(path_, aligned, ec);
+    if (aligned != end_) {
+        end_ = aligned;
+        records_ =
+            static_cast<std::size_t>((end_ - body_begin_) / record_bytes());
+    }
 }
 
 void DiskLog::scan(const std::function<void(std::uint64_t,
@@ -195,6 +276,9 @@ void DiskLog::scan(const std::function<void(std::uint64_t,
 std::uint64_t DiskLog::append(std::span<const double> x, double value) {
     if (x.size() != dim_)
         throw std::invalid_argument("DiskLog::append: dimension mismatch");
+    const ScopedFlock guard(lock_fd_);
+    reopen_if_replaced();
+    seek_true_end();
     std::vector<char> payload(x.size_bytes() + 8);
     std::memcpy(payload.data(), x.data(), x.size_bytes());
     std::memcpy(payload.data() + x.size_bytes(), &value, 8);
@@ -219,8 +303,9 @@ std::uint64_t DiskLog::append(std::span<const double> x, double value) {
     write_pod(file_, len);
     if (fault == util::IoFault::kTornWrite) {
         // Half the payload reaches the disk, then the "device" fails. The
-        // in-memory end_ stays put, so the next append overwrites the torn
-        // bytes; if the process dies first, open_and_recover truncates.
+        // in-memory end_ stays put, so the next append's record-boundary
+        // repair truncates the torn bytes (so does any other process's);
+        // if the process dies first, open_and_recover truncates.
         file_.write(payload.data(),
                     static_cast<std::streamsize>(payload.size() / 2));
         file_.flush();
@@ -284,6 +369,11 @@ std::optional<LogInfo> DiskLog::inspect(const std::string& path) {
 
 CompactResult DiskLog::compact(const std::string& path) {
     namespace fs = std::filesystem;
+    // Exclude concurrent appenders (other processes sharing the cache dir)
+    // for the whole read-rewrite-rename: a record appended mid-compaction
+    // would be silently dropped by the rename.
+    const FdCloser lock{open_lock_file(path)};
+    const ScopedFlock guard(lock.fd);
     const auto info = inspect(path);
     if (!info)
         throw std::runtime_error("compact: '" + path +
@@ -334,6 +424,7 @@ CompactResult DiskLog::compact(const std::string& path) {
     }
     fs::rename(tmp, path);
     util::fsync_parent_dir(path);
+    fs::remove(tmp + ".lck", ec);  // sidecar of the temp log
     return result;
 }
 

@@ -24,6 +24,18 @@ namespace nofis::evalcache {
 /// truncates the file at the first torn or corrupt one. Values round-trip
 /// as raw 8-byte patterns, so a cached g is returned bit-for-bit.
 ///
+/// Multi-process sharing (cluster workers with one --cache-dir): a sidecar
+/// `<path>.lck` file is flock(2)ed around open/recovery, every append, and
+/// compaction, so concurrent writers interleave whole records. Appends seek
+/// to the true end of file under the lock (another process may have grown
+/// it); every record in one log has the same size, so an unaligned tail left
+/// by a crashed writer is repaired by truncating to the last record
+/// boundary. A compaction by another process replaces the inode; append
+/// detects that (stat) and transparently reopens, while reads keep using the
+/// already-open (old) inode, where this process's offsets stay valid.
+/// Duplicate rows appended by different processes are benign: g is pure,
+/// and compaction dedups last-write-wins.
+///
 /// The log stores byte order of the machine that wrote it (cache files are
 /// a local acceleration, not an interchange format); the header is enough
 /// for `nofis_cli cache-info` to describe a file standalone.
@@ -111,13 +123,18 @@ public:
     static CompactResult compact(const std::string& path);
 
 private:
-    void open_and_recover();
+    void open_and_recover();  ///< caller must hold the sidecar lock
     void write_header();
+    void reopen_if_replaced();
+    void seek_true_end();
 
     std::string path_;
     std::string case_key_;
     std::size_t dim_ = 0;
     std::fstream file_;
+    int lock_fd_ = -1;           ///< sidecar `<path>.lck`, flock'd per append
+    std::uint64_t ino_ = 0;      ///< inode backing file_; detects compaction
+    std::uint64_t body_begin_ = 0;  ///< offset of the first record
     std::uint64_t end_ = 0;      ///< byte offset just past the last record
     std::size_t records_ = 0;
     std::size_t appends_since_sync_ = 0;

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "serve/cluster/worker_process.hpp"
+#include "serve/protocol.hpp"
+
+namespace nofis::serve::cluster {
+
+struct ClusterConfig {
+    std::size_t workers = 2;
+    std::string host = "127.0.0.1";  ///< loopback only, like Server
+    std::uint16_t port = 0;          ///< front port; 0 = ephemeral
+    /// Every client funnels through one acceptor, so the front defaults to
+    /// a deeper listen backlog than a single Server.
+    int backlog = 256;
+    WorkerOptions worker;      ///< template; metrics_out is filled per worker
+    std::string metrics_out;   ///< aggregate JSON path; "" = no aggregation
+};
+
+/// Stable model-to-worker routing: FNV-1a of the model name modulo the
+/// worker count. A model's traffic always lands on the same worker, so the
+/// per-worker bitwise determinism guarantee (DESIGN.md §10.4) extends to
+/// the cluster unchanged — one model's batches never split across replicas.
+std::size_t route_worker(std::string_view model,
+                         std::size_t workers) noexcept;
+
+/// Front process of the scale-out serving topology (DESIGN.md §15): one
+/// acceptor that speaks the same line-delimited JSON protocol as Server,
+/// spawns `workers` worker processes (each a full single-model-registry
+/// server on an ephemeral loopback port), and routes every model-addressed
+/// request to its owning worker. Responses are relayed byte-for-byte, so a
+/// cluster serves exactly the bytes a single worker would.
+///
+/// Lifecycle management:
+///   * a health thread respawns crashed workers; requests that hit the
+///     respawn window fail fast with a structured `worker_unavailable`
+///     error (never a hang),
+///   * `drain`/`resume` admin requests (with a "worker" field) stop/restart
+///     routing to one worker and wait for its in-flight requests,
+///   * `reload` drains the owning worker first, so a model swaps to new
+///     weights with zero failed requests,
+///   * shutdown (protocol op or SIGTERM via wait()'s stop flag) drains all
+///     workers, stops them gracefully, and — when metrics_out is set —
+///     aggregates their telemetry records into one fleet JSON.
+class Cluster {
+public:
+    explicit Cluster(ClusterConfig cfg);
+    ~Cluster();
+    Cluster(const Cluster&) = delete;
+    Cluster& operator=(const Cluster&) = delete;
+
+    std::uint16_t port() const noexcept { return port_; }
+    std::size_t workers() const noexcept { return slots_.size(); }
+    /// Current pid / port of worker `i` (respawns change both); 0 / -1
+    /// while the slot is mid-respawn.
+    pid_t worker_pid(std::size_t i);
+    std::uint16_t worker_port(std::size_t i);
+    std::uint64_t worker_restarts(std::size_t i);
+
+    /// Blocks until a protocol `shutdown` arrives, request_shutdown() is
+    /// called, or `stop_flag` turns true (polled; signal-handler friendly).
+    void wait(const std::atomic<bool>* stop_flag = nullptr);
+    void request_shutdown();
+
+    /// Full teardown: stop accepting, drain every worker, join connection
+    /// threads, stop the workers gracefully. Idempotent.
+    void shutdown();
+
+    /// Aggregates the per-worker metrics files plus the front's own
+    /// telemetry counters into one `nofis-cluster-metrics-v1` document at
+    /// `path` (atomic write). Call after shutdown(), which is when workers
+    /// have written their records. Returns false when the write fails.
+    bool write_metrics(const std::string& path);
+
+private:
+    struct Slot;
+    struct ClientConn;
+
+    void spawn_slot(std::size_t i);
+    void accept_loop();
+    void serve_client(ClientConn& conn);
+    void health_loop();
+    void drain_slot(std::size_t i);
+    void resume_slot(std::size_t i);
+    void route_line(ClientConn& conn, const std::string& line);
+    void forward_line(ClientConn& conn, std::size_t w, const Request& req,
+                      const std::string& line);
+    std::string admin_call(std::size_t w, const Request& req,
+                           const std::string& line);
+    static void push_local(ClientConn& conn, std::string response);
+    std::string worker_metrics_path(std::size_t i) const;
+
+    ClusterConfig cfg_;
+    std::vector<std::unique_ptr<Slot>> slots_;
+
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread accept_thread_;
+    std::thread health_thread_;
+
+    std::mutex conn_mutex_;
+    std::list<std::unique_ptr<ClientConn>> connections_;
+
+    std::mutex wait_mutex_;
+    std::condition_variable wait_cv_;
+    bool shutdown_requested_ = false;
+    std::atomic<bool> stopping_{false};  ///< gates routing + health loop
+    std::atomic<bool> stopped_{false};   ///< shutdown() ran
+};
+
+}  // namespace nofis::serve::cluster

@@ -1,0 +1,169 @@
+#include "serve/cluster/worker_process.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+extern char** environ;
+
+namespace nofis::serve::cluster {
+
+namespace {
+
+std::vector<std::string> build_argv(const WorkerOptions& opts) {
+    std::vector<std::string> argv = opts.command;
+    argv.push_back("serve");
+    argv.push_back("--models");
+    argv.push_back(opts.model_dir);
+    argv.push_back("--port");
+    argv.push_back("0");
+    argv.push_back("--max-batch-rows");
+    argv.push_back(std::to_string(opts.max_batch_rows));
+    argv.push_back("--max-wait-us");
+    argv.push_back(std::to_string(opts.max_wait_us));
+    argv.push_back("--max-queue");
+    argv.push_back(std::to_string(opts.max_queue));
+    if (opts.cache_mem_mb > 0) {
+        argv.push_back("--cache-mem-mb");
+        argv.push_back(std::to_string(opts.cache_mem_mb));
+    }
+    if (!opts.cache_dir.empty()) {
+        argv.push_back("--cache-dir");
+        argv.push_back(opts.cache_dir);
+    }
+    if (opts.threads > 0) {
+        argv.push_back("--threads");
+        argv.push_back(std::to_string(opts.threads));
+    }
+    if (!opts.metrics_out.empty()) {
+        argv.push_back("--metrics-out");
+        argv.push_back(opts.metrics_out);
+    }
+    return argv;
+}
+
+}  // namespace
+
+WorkerProcess::WorkerProcess(const WorkerOptions& opts) {
+    if (opts.command.empty())
+        throw std::runtime_error("cluster: empty worker command");
+
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0)
+        throw std::runtime_error("cluster: pipe() failed");
+
+    const std::vector<std::string> args = build_argv(opts);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+
+    // posix_spawn (not fork): the front is multithreaded by the time a
+    // crashed worker is respawned, and spawn avoids every fork-in-threads
+    // hazard. The child's stdout is redirected onto the pipe so the parent
+    // can read the ready line and learn the ephemeral port.
+    posix_spawn_file_actions_t actions;
+    posix_spawn_file_actions_init(&actions);
+    posix_spawn_file_actions_adddup2(&actions, pipe_fds[1], STDOUT_FILENO);
+    posix_spawn_file_actions_addclose(&actions, pipe_fds[0]);
+    posix_spawn_file_actions_addclose(&actions, pipe_fds[1]);
+    const int rc = ::posix_spawn(&pid_, args[0].c_str(), &actions, nullptr,
+                                 argv.data(), environ);
+    posix_spawn_file_actions_destroy(&actions);
+    ::close(pipe_fds[1]);
+    if (rc != 0) {
+        ::close(pipe_fds[0]);
+        throw std::runtime_error("cluster: cannot spawn worker '" + args[0] +
+                                 "': " + std::strerror(rc));
+    }
+    stdout_fd_ = pipe_fds[0];
+
+    // Wait for "nofis-serve: ready port=P" on the pipe. The child prints
+    // it once listening; EOF first means it died during startup.
+    std::string buffer;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(
+            static_cast<long>(opts.ready_timeout_s * 1000.0));
+    static const std::string kReady = "nofis-serve: ready port=";
+    for (;;) {
+        const std::size_t at = buffer.find(kReady);
+        if (at != std::string::npos) {
+            const std::size_t eol = buffer.find('\n', at);
+            if (eol != std::string::npos) {
+                port_ = static_cast<std::uint16_t>(std::strtoul(
+                    buffer.c_str() + at + kReady.size(), nullptr, 10));
+                if (port_ != 0) return;
+                terminate(0.0);
+                throw std::runtime_error("cluster: worker reported port 0");
+            }
+        }
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) {
+            terminate(0.0);
+            throw std::runtime_error(
+                "cluster: worker did not become ready in time");
+        }
+        pollfd pfd{stdout_fd_, POLLIN, 0};
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - now);
+        const int pr = ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+        if (pr < 0 && errno == EINTR) continue;
+        if (pr <= 0) continue;  // timeout re-checked above
+        char chunk[512];
+        const ssize_t n = ::read(stdout_fd_, chunk, sizeof(chunk));
+        if (n <= 0) {
+            terminate(0.0);
+            throw std::runtime_error(
+                "cluster: worker exited before becoming ready");
+        }
+        buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+WorkerProcess::~WorkerProcess() {
+    terminate(5.0);
+    if (stdout_fd_ >= 0) ::close(stdout_fd_);
+}
+
+bool WorkerProcess::alive() {
+    if (reaped_ || pid_ < 0) return false;
+    int status = 0;
+    const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+    if (r == 0) return true;
+    reaped_ = true;  // r == pid_ (exited) or -1 (not our child anymore)
+    return false;
+}
+
+void WorkerProcess::terminate(double grace_s) {
+    if (reaped_ || pid_ < 0) return;
+    ::kill(pid_, SIGTERM);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(static_cast<long>(grace_s * 1000.0));
+    int status = 0;
+    for (;;) {
+        const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+        if (r != 0) {
+            reaped_ = true;
+            return;
+        }
+        if (std::chrono::steady_clock::now() >= deadline) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ::kill(pid_, SIGKILL);
+    while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+    }
+    reaped_ = true;
+}
+
+}  // namespace nofis::serve::cluster

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nofis::serve::cluster {
+
+/// How to launch one worker: `command` is the argv prefix of a program
+/// whose `serve` subcommand speaks the wire protocol — normally the running
+/// binary itself ({"/proc/self/exe"}); tests point it at a built nofis_cli.
+/// The spawner appends `serve --models ... --port 0 ...` from the fields
+/// below, so every worker binds an ephemeral port and reports it back on
+/// stdout.
+struct WorkerOptions {
+    std::vector<std::string> command;
+    std::string model_dir = ".";
+    std::size_t max_batch_rows = 0;
+    std::uint64_t max_wait_us = 200;
+    std::size_t max_queue = 1024;
+    std::size_t cache_mem_mb = 0;
+    std::string cache_dir;        ///< shared across workers (DiskLog locks)
+    std::size_t threads = 0;      ///< 0 = worker default
+    std::string metrics_out;      ///< per-worker metrics path; "" = none
+    double ready_timeout_s = 30.0;
+};
+
+/// One spawned worker process. The constructor spawns the child with its
+/// stdout on a pipe and blocks until the child prints
+/// "nofis-serve: ready port=P" (throwing, and reaping the child, when it
+/// exits or stays silent past ready_timeout_s). The pipe stays open for the
+/// child's lifetime — closing it would SIGPIPE-kill a worker on its next
+/// printf.
+class WorkerProcess {
+public:
+    explicit WorkerProcess(const WorkerOptions& opts);
+    ~WorkerProcess();
+    WorkerProcess(const WorkerProcess&) = delete;
+    WorkerProcess& operator=(const WorkerProcess&) = delete;
+
+    std::uint16_t port() const noexcept { return port_; }
+    pid_t pid() const noexcept { return pid_; }
+
+    /// Non-blocking liveness poll (waitpid WNOHANG). A worker observed dead
+    /// is reaped here and stays dead.
+    bool alive();
+
+    /// Graceful stop: SIGTERM (the worker drains and writes its metrics),
+    /// up to `grace_s` seconds to exit, then SIGKILL. Reaps. Idempotent.
+    void terminate(double grace_s);
+
+private:
+    pid_t pid_ = -1;
+    int stdout_fd_ = -1;
+    std::uint16_t port_ = 0;
+    bool reaped_ = false;
+};
+
+}  // namespace nofis::serve::cluster

@@ -61,6 +61,11 @@ public:
     const Json* find(std::string_view key) const noexcept;
     /// Appends (or overwrites) a member; returns *this for chaining.
     Json& set(std::string_view key, Json v);
+    /// Object members in insertion order (empty for non-objects). The
+    /// cluster metrics aggregator iterates worker records through this.
+    const std::vector<std::pair<std::string, Json>>& members() const noexcept {
+        return members_;
+    }
 
     /// Compact single-line encoding. Doubles use "%.17g" so every distinct
     /// double has one canonical spelling and values survive a round-trip.
@@ -97,6 +102,7 @@ enum class ErrorCode {
     kQueueFull,         ///< scheduler backpressure: bounded queue at capacity
     kDeadlineExceeded,  ///< request expired before its batch executed
     kShuttingDown,      ///< server stopping; request not executed
+    kWorkerUnavailable, ///< cluster: owning worker crashed / respawning
     kInternal,          ///< unexpected exception during execution
 };
 std::string_view error_code_name(ErrorCode code) noexcept;
@@ -123,6 +129,10 @@ enum class Op {
     kListModels,  ///< models on disk + which are resident
     kReload,      ///< re-read a model from disk (atomic swap)
     kEvict,       ///< drop a resident model
+    kDrain,       ///< ack once every earlier request has completed; at the
+                  ///< cluster front (with a 'worker' field) additionally
+                  ///< stops routing new requests to that worker
+    kResume,      ///< cluster front: resume routing to a drained worker
     kPing,        ///< liveness / protocol check
     kShutdown,    ///< ack, then stop the server
 };
@@ -140,6 +150,9 @@ struct Request {
     linalg::Matrix x;       ///< query points, row-major (log_prob)
     std::string case_name;  ///< test-case name (estimate)
     std::uint64_t timeout_us = 0;  ///< 0 = no deadline
+    /// Cluster worker index for drain/resume admin verbs; negative = absent
+    /// (a worker process acks a drain for its whole queue).
+    std::int64_t worker = -1;
 
     /// Decodes one wire line. Throws ServeError(kBadRequest) on anything
     /// malformed, including unknown ops and wrong field types.

@@ -505,6 +505,20 @@ Response BatchScheduler::run_admin(Pending& p) {
                            Json::boolean(registry_.evict(p.req.model)));
                 return Response::success(p.req, std::move(result));
             }
+            case Op::kDrain: {
+                // Admin ops execute after every earlier-submitted request in
+                // this worker's queue order, so reaching this point IS the
+                // drain: everything ahead of the request has completed. The
+                // cluster front layers routing-level drain on top of this.
+                Json result = Json::object();
+                result.set("drained", Json::boolean(true));
+                return Response::success(p.req, std::move(result));
+            }
+            case Op::kResume: {
+                Json result = Json::object();
+                result.set("resumed", Json::boolean(true));
+                return Response::success(p.req, std::move(result));
+            }
             case Op::kShutdown: {
                 Json result = Json::object();
                 result.set("stopping", Json::boolean(true));

@@ -71,7 +71,7 @@ Server::Server(ServerConfig cfg)
         throw std::runtime_error("serve: cannot bind " + cfg_.host + ":" +
                                  std::to_string(cfg_.port));
     }
-    if (::listen(listen_fd_, 64) != 0) {
+    if (::listen(listen_fd_, cfg_.backlog) != 0) {
         ::close(listen_fd_);
         throw std::runtime_error("serve: listen() failed");
     }
@@ -90,8 +90,20 @@ void Server::accept_loop() {
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0) {
             if (stopped_.load(std::memory_order_relaxed)) return;
-            if (errno == EINTR) continue;
-            return;  // listener closed underneath us
+            const int err = errno;
+            // Transient failures must not kill the listener: EINTR and
+            // ECONNABORTED (peer gave up while queued) retry immediately;
+            // resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) backs off
+            // briefly so in-flight connections can close and free
+            // descriptors. Only a genuinely dead listener ends the loop.
+            if (err == EINTR || err == ECONNABORTED) continue;
+            if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+                err == ENOMEM) {
+                telemetry::count("serve.accept_backoff");
+                std::this_thread::sleep_for(std::chrono::milliseconds(10));
+                continue;
+            }
+            return;  // EBADF/EINVAL: listener closed underneath us
         }
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

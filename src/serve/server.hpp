@@ -18,6 +18,10 @@ struct ServerConfig {
     std::string model_dir = ".";
     std::string host = "127.0.0.1";  ///< loopback only by design
     std::uint16_t port = 0;          ///< 0 = ephemeral; read back via port()
+    /// listen(2) backlog. The default matches the historical hard-coded
+    /// value; the cluster front runs with a deeper backlog because every
+    /// client connection funnels through one acceptor.
+    int backlog = 64;
     SchedulerConfig scheduler;
 };
 

@@ -54,7 +54,7 @@ std::string TcpClient::read_line() {
     }
 }
 
-std::string TcpClient::call_raw(const std::string& line) {
+void TcpClient::send_line(const std::string& line) {
     const std::string framed = line + "\n";
     std::size_t sent = 0;
     while (sent < framed.size()) {
@@ -63,6 +63,14 @@ std::string TcpClient::call_raw(const std::string& line) {
         if (n <= 0) throw std::runtime_error("query: send failed");
         sent += static_cast<std::size_t>(n);
     }
+}
+
+void TcpClient::shutdown() noexcept {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::string TcpClient::call_raw(const std::string& line) {
+    send_line(line);
     return read_line();
 }
 

@@ -50,6 +50,23 @@ flow::CouplingStack make_stack(std::size_t dim, std::uint64_t seed) {
     return flow::CouplingStack(small_config(dim), eng);
 }
 
+/// A stack whose transforms are NOT the identity. Fresh inits zero the
+/// coupling nets' output layers, so two stacks from different seeds still
+/// sample identical bytes — a test that must observe a weight swap in the
+/// served output needs genuinely different transforms.
+flow::CouplingStack make_perturbed_stack(std::size_t dim,
+                                         std::uint64_t seed) {
+    auto stack = make_stack(dim, seed);
+    auto snap = flow::snapshot_params(stack);
+    for (std::size_t i = 0; i < snap.size(); ++i)
+        for (std::size_t r = 0; r < snap[i].rows(); ++r)
+            for (std::size_t c = 0; c < snap[i].cols(); ++c)
+                snap[i](r, c) += 0.01 * static_cast<double>(
+                                            (i + r + c + seed % 13) % 7 + 1);
+    flow::restore_params(stack, snap);
+    return stack;
+}
+
 /// Restores the default pool size when a test tweaks --threads.
 struct PoolGuard {
     ~PoolGuard() { parallel::set_num_threads(0); }
@@ -226,6 +243,76 @@ TEST_F(ServeFixture, RegistryReloadSwapsEvictDrops) {
     EXPECT_TRUE(registry.evict("toy3"));
     EXPECT_FALSE(registry.evict("toy3"));
     EXPECT_TRUE(registry.resident().empty());
+}
+
+TEST_F(ServeFixture, ReloadAndEvictKeepHeldInstancesBitwiseIntact) {
+    serve::ModelRegistry registry(dir_);
+    const auto held = registry.get("toy3");
+    const auto sample_with = [](const serve::Model& m) {
+        rng::Engine eng(42);
+        return m.stack.sample(eng, 3, m.stack.num_blocks());
+    };
+    const auto before = sample_with(*held);
+
+    // Swap the on-disk weights and reload, then evict: the held pre-reload
+    // instance — the one an in-flight batch would have captured — must keep
+    // producing its original bytes.
+    flow::save_stack(make_perturbed_stack(3, 999), dir_ + "/toy3.nofisflow");
+    const auto swapped = registry.reload("toy3");
+    ASSERT_NE(swapped.get(), held.get());
+    EXPECT_TRUE(registry.evict("toy3"));
+
+    const auto after = sample_with(*held);
+    ASSERT_EQ(after.z.rows(), before.z.rows());
+    for (std::size_t r = 0; r < before.z.rows(); ++r) {
+        for (std::size_t c = 0; c < before.z.cols(); ++c)
+            EXPECT_EQ(after.z(r, c), before.z(r, c));
+        EXPECT_EQ(after.log_q[r], before.log_q[r]);
+    }
+
+    // And the post-reload instance really is different weights.
+    const auto other = sample_with(*swapped);
+    bool any_differs = false;
+    for (std::size_t r = 0; r < before.z.rows(); ++r)
+        for (std::size_t c = 0; c < before.z.cols(); ++c)
+            any_differs |= other.z(r, c) != before.z(r, c);
+    EXPECT_TRUE(any_differs);
+}
+
+TEST_F(ServeFixture, ReloadEvictChurnUnderTrafficStaysStructured) {
+    serve::ModelRegistry registry(dir_);
+    serve::SchedulerConfig cfg;
+    cfg.max_wait_us = 50;
+    serve::BatchScheduler scheduler(registry, cfg);
+
+    // Clients hammer samples while the main thread swaps weights under
+    // them: every response must stay ok — in-flight batches ride their held
+    // shared_ptr, new batches pick up whatever generation is resident.
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> clients;
+    for (std::size_t t = 0; t < 3; ++t)
+        clients.emplace_back([&, t] {
+            serve::Client client(scheduler);
+            std::uint64_t seed = 100 * (t + 1);
+            while (!stop.load(std::memory_order_relaxed)) {
+                Request req;
+                req.op = Op::kSample;
+                req.model = "toy3";
+                req.seed = seed++;
+                req.n = 2;
+                const Response res = client.call(req);
+                EXPECT_TRUE(res.ok) << res.error_message;
+            }
+        });
+    for (int iter = 0; iter < 20; ++iter) {
+        flow::save_stack(make_stack(3, 1000 + iter),
+                         dir_ + "/toy3.nofisflow");
+        registry.reload("toy3");
+        if (iter % 5 == 4) registry.evict("toy3");
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& th : clients) th.join();
 }
 
 // ---------------------------------------------------------------------------
@@ -580,6 +667,39 @@ TEST_F(ServeFixture, ServeTcpEndToEndPipelinedAndCleanShutdown) {
     const Response ack = client.call(down);
     EXPECT_TRUE(ack.ok);
     server.wait();  // returns because the shutdown op signalled it
+    server.shutdown();
+}
+
+TEST_F(ServeFixture, ServerSurvivesClientDisconnectMidRequest) {
+    serve::ServerConfig cfg;
+    cfg.model_dir = dir_;
+    cfg.port = 0;
+    cfg.backlog = 1;  // the tuned-down option must still serve fine
+    serve::Server server(cfg);
+    ASSERT_GT(server.port(), 0);
+
+    // Clients that send a request and vanish without reading the response:
+    // the connection teardown must not take the server (or other
+    // connections) with it.
+    for (int i = 0; i < 3; ++i) {
+        serve::TcpClient client("127.0.0.1", server.port());
+        Request req;
+        req.id = 1;
+        req.op = Op::kSample;
+        req.model = "toy3";
+        req.seed = static_cast<std::uint64_t>(i);
+        req.n = 32;
+        client.send_line(req.encode());
+        // scope exit closes the socket with the response undelivered
+    }
+
+    serve::TcpClient fresh("127.0.0.1", server.port());
+    Request ping;
+    ping.op = Op::kPing;
+    ping.id = 9;
+    const Response pong = fresh.call(ping);
+    EXPECT_TRUE(pong.ok);
+    EXPECT_EQ(pong.id, 9u);
     server.shutdown();
 }
 
