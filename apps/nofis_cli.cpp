@@ -29,6 +29,16 @@
 //   nofis_cli reuse --case Leaf --load leaf.nofisflow [--nis 5000] [--seed 2]
 //       Reload a trained proposal and draw a fresh importance-sampling
 //       estimate without retraining.
+//
+// estimate, train and reuse accept the latent-space exploration flags
+// (DESIGN.md §16): --latent-explore splits the final-IS budget between
+// K annealed Metropolis chains in the trained flow's base space
+// (--latent-chains K, --latent-steps S, --latent-anneal linear|geom|none)
+// and a defensive-mixture final estimate over α·flow + (1−α)·refined
+// (--latent-alpha A). Total g-budget is identical to plain final IS;
+// results stay bitwise identical across --threads, --kernels, and cache
+// off/cold/warm. `estimate --method NOFIS-LE` runs the same split at the
+// case budget.
 //   nofis_cli info FILE.nofisflow
 //       Print a saved stack's metadata (dim, blocks, coupling kind,
 //       parameter count) without running anything.
@@ -127,14 +137,15 @@ int cmd_estimate(int argc, char** argv) {
 
     const auto cache = cache_from_flags(argc, argv);
     const auto tc = testcases::make_case(case_name);
-    const auto est = make_estimator(method, *tc, cache, coupling);
+    const auto latent_cfg = latent_config_from_flags(argc, argv);
+    const auto est = make_estimator(method, *tc, cache, coupling, &latent_cfg);
     // NOFIS consults the cache through its config; the baselines evaluate
     // through an external wrapper. Estimates (and this command's stdout)
     // are bitwise identical with the cache off, cold, or warm — the
     // fresh/cached split lands in --metrics-out only.
     std::optional<evalcache::CachedProblem> cached;
     const estimators::RareEventProblem* problem = tc.get();
-    if (cache && method != "NOFIS") {
+    if (cache && !nofis_family(method)) {
         cached.emplace(*tc, cache, testcases::cache_key(*tc));
         problem = &*cached;
     }
@@ -153,7 +164,7 @@ int cmd_estimate(int argc, char** argv) {
         // metrics record. (NOFIS runs count their own calls/diagnostics
         // and fresh-vs-cached split.)
         telemetry::count("estimate.runs");
-        if (method != "NOFIS") {
+        if (!nofis_family(method)) {
             telemetry::count("calls", res.calls);
             evalcache::report_call_split(
                 res.calls,
@@ -223,6 +234,9 @@ int cmd_train(int argc, char** argv) {
     cfg.rqs_tail = double_flag(argc, argv, "--rqs-tail", "5");
     cfg.guard.policy =
         parse_policy(arg_value(argc, argv, "--policy", "retry"));
+    // Latent-space exploration (DESIGN.md §16): splits n_is between the
+    // annealed chains and the defensive-mixture final IS.
+    cfg.latent = latent_config_from_flags(argc, argv);
     // Routed through the config (rather than only the global pool) so the
     // NofisConfig knob is exercised end-to-end.
     cfg.threads = size_flag(argc, argv, "--threads", "0");
@@ -281,6 +295,15 @@ int cmd_train(int argc, char** argv) {
     std::printf("trained %s: p = %.4e (calls %zu, log-err %.3f)\n",
                 case_name.c_str(), run.estimate.p_hat, run.estimate.calls,
                 estimators::log_error(run.estimate.p_hat, tc->golden_pr()));
+    if (cfg.latent.enabled) {
+        const auto& lr = run.latent_report;
+        std::printf("latent: chains = %zu  steps = %zu  alpha = %.2f  "
+                    "anneal = %s  explore-calls = %zu  final-is = %zu  "
+                    "accept = %.3f  components = %zu\n",
+                    cfg.latent.chains, cfg.latent.steps, cfg.latent.alpha,
+                    latent::anneal_name(cfg.latent.anneal), lr.explore_calls,
+                    lr.final_is_draws, lr.acceptance_rate, lr.components);
+    }
     std::printf("%s\n", run.health.summary().c_str());
     if (nan_rate > 0.0 || throw_rate > 0.0) {
         // The ledger counts THIS process's arrivals, so a resumed run's
@@ -319,8 +342,26 @@ int cmd_reuse(int argc, char** argv) {
     }
     rng::Engine eng(seed);
     core::IsDiagnostics diag;
-    const auto res = core::NofisEstimator::importance_estimate(
-        stack, *problem, eng, nis, &diag);
+    // Latent-space exploration on a reloaded stack (DESIGN.md §16): the
+    // chains need the tempered-target shape, which comes from the case's
+    // own budget (τ and the first, easiest level of its schedule).
+    const auto latent_cfg = latent_config_from_flags(argc, argv);
+    estimators::EstimateResult res;
+    std::size_t final_is_draws = nis;
+    latent::LatentReport lrep;
+    if (latent_cfg.enabled) {
+        // Same composition as a training run: Guarded(Cached(problem)), so
+        // chain evaluations replay/cache like every other consumer.
+        const estimators::GuardedProblem guarded(*problem);
+        const auto budget = tc->nofis_budget();
+        res = latent::explore_and_estimate(stack, guarded, eng, nis,
+                                           budget.tau, budget.levels.front(),
+                                           latent_cfg, &diag, &lrep);
+        final_is_draws = lrep.final_is_draws;
+    } else {
+        res = core::NofisEstimator::importance_estimate(stack, *problem, eng,
+                                                        nis, &diag);
+    }
     telemetry::count("calls", res.calls);
     evalcache::report_call_split(
         res.calls,
@@ -332,11 +373,23 @@ int cmd_reuse(int argc, char** argv) {
     telemetry::metric("weight_cv", diag.weight_cv);
     std::printf("reused proposal from %s on %s:\n", path.c_str(),
                 case_name.c_str());
+    // Stats line is append-only (existing CI diffs parse the prefix): the
+    // estimator strategy and the final-IS draw count ride at the end.
     std::printf("  p = %.4e  calls = %zu  log-err = %.3f  hits = %zu  "
-                "ESS = %.1f  ESS(all) = %.1f  weight-CV = %.2f\n",
+                "ESS = %.1f  ESS(all) = %.1f  weight-CV = %.2f  "
+                "strategy = %s  final-is = %zu\n",
                 res.p_hat, res.calls,
                 estimators::log_error(res.p_hat, tc->golden_pr()), diag.hits,
-                diag.effective_sample_size, diag.ess_all, diag.weight_cv);
+                diag.effective_sample_size, diag.ess_all, diag.weight_cv,
+                latent_cfg.enabled ? "latent-explore" : "final-is",
+                final_is_draws);
+    if (latent_cfg.enabled)
+        std::printf("  latent: chains = %zu  steps = %zu  alpha = %.2f  "
+                    "anneal = %s  explore-calls = %zu  accept = %.3f  "
+                    "components = %zu\n",
+                    latent_cfg.chains, latent_cfg.steps, latent_cfg.alpha,
+                    latent::anneal_name(latent_cfg.anneal), lrep.explore_calls,
+                    lrep.acceptance_rate, lrep.components);
     return 0;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/nofis.hpp"
+#include "estimators/latent_explore_is.hpp"
 #include "evalcache/cached_problem.hpp"
 #include "evalcache/eval_cache.hpp"
 #include "linalg/kernels/kernels.hpp"
@@ -52,6 +53,13 @@ inline std::vector<std::string> all_method_names() {
     return {"MC", "SIR", "SUC", "SUS", "SSS", "Adapt-IS", "NOFIS"};
 }
 
+/// True for the NOFIS-family methods ("NOFIS", "NOFIS-LE", ...) that wire
+/// the evaluation cache through their own config instead of an external
+/// CachedProblem wrapper.
+inline bool nofis_family(const std::string& method) {
+    return method.rfind("NOFIS", 0) == 0;
+}
+
 /// Parses a --coupling flag value; throws (CLI exit 2) on anything else.
 inline flow::CouplingKind parse_coupling(const std::string& name) {
     if (name == "affine") return flow::CouplingKind::kAffine;
@@ -67,10 +75,14 @@ inline flow::CouplingKind parse_coupling(const std::string& name) {
 /// see run_cell — because their problem is wrapped externally.
 /// `coupling_override`: non-empty forces the NOFIS flow's coupling family
 /// ("affine" | "additive" | "rqs"); ignored by the baseline methods.
+/// `latent`: non-null tunes the latent-exploration knobs of "NOFIS" /
+/// "NOFIS-LE" (the latter always explores; for plain "NOFIS" the config's
+/// own `enabled` decides). Ignored by the baselines.
 inline std::unique_ptr<estimators::Estimator> make_estimator(
     const std::string& method, const testcases::TestCase& tc,
     std::shared_ptr<evalcache::EvalCache> cache = nullptr,
-    const std::string& coupling_override = "") {
+    const std::string& coupling_override = "",
+    const latent::LatentConfig* latent = nullptr) {
     const auto bb = tc.baseline_budget();
     if (method == "MC")
         return std::make_unique<estimators::MonteCarloEstimator>(
@@ -105,17 +117,22 @@ inline std::unique_ptr<estimators::Estimator> make_estimator(
         cfg.final_samples = bb.ais_final_samples;
         return std::make_unique<estimators::AdaptiveIsEstimator>(cfg);
     }
-    if (method == "NOFIS") {
+    if (nofis_family(method)) {
         const auto nb = tc.nofis_budget();
         auto cfg = nofis_config_from_budget(nb);
         if (!coupling_override.empty())
             cfg.coupling = parse_coupling(coupling_override);
+        if (latent != nullptr) cfg.latent = *latent;
         if (cache) {
             cfg.cache = std::move(cache);
             cfg.cache_key = testcases::cache_key(tc);
         }
-        return std::make_unique<core::NofisEstimator>(
-            std::move(cfg), core::LevelSchedule::manual(nb.levels));
+        if (method == "NOFIS-LE")
+            return std::make_unique<estimators::LatentExploreIs>(
+                std::move(cfg), core::LevelSchedule::manual(nb.levels));
+        if (method == "NOFIS")
+            return std::make_unique<core::NofisEstimator>(
+                std::move(cfg), core::LevelSchedule::manual(nb.levels));
     }
     throw std::invalid_argument("make_estimator: unknown method " + method);
 }
@@ -143,7 +160,7 @@ inline CellResult run_cell(const std::string& method,
     const auto est = make_estimator(method, tc, cache);
     std::unique_ptr<evalcache::CachedProblem> cached;
     const estimators::RareEventProblem* problem = &tc;
-    if (cache && method != "NOFIS") {
+    if (cache && !nofis_family(method)) {
         cached = std::make_unique<evalcache::CachedProblem>(
             tc, cache, testcases::cache_key(tc));
         problem = cached.get();
@@ -159,7 +176,7 @@ inline CellResult run_cell(const std::string& method,
         const std::size_t run_cached =
             cached ? std::min(cached->hits() - hits_before, res.calls)
                    : res.cached_calls;
-        if (method != "NOFIS")
+        if (!nofis_family(method))
             evalcache::report_call_split(res.calls, run_cached);
         if (res.failed) ++cell.failures;
         cell.mean_calls += static_cast<double>(res.calls);
@@ -246,6 +263,22 @@ inline double double_flag(int argc, char** argv, const char* name,
     const auto parsed = util::parse_double(raw);
     if (!parsed) flag_error(name, raw);
     return *parsed;
+}
+
+/// Reads the --latent-* flags of the latent-space exploration estimator
+/// (DESIGN.md §16): `--latent-explore` turns the feature on;
+/// `--latent-chains K`, `--latent-steps S`, `--latent-alpha A` and
+/// `--latent-anneal linear|geom|none` tune it (all honoured even when the
+/// feature is off, for callers that enable it programmatically).
+inline latent::LatentConfig latent_config_from_flags(int argc, char** argv) {
+    latent::LatentConfig lc;
+    lc.enabled = flag_present(argc, argv, "--latent-explore");
+    lc.chains = size_flag(argc, argv, "--latent-chains", "8");
+    lc.steps = size_flag(argc, argv, "--latent-steps", "40");
+    lc.alpha = double_flag(argc, argv, "--latent-alpha", "0.8");
+    lc.anneal =
+        latent::parse_anneal(arg_value(argc, argv, "--latent-anneal", "linear"));
+    return lc;
 }
 
 /// Applies a "--threads N" flag (0 / absent = NOFIS_THREADS env or hardware

@@ -77,6 +77,17 @@ std::uint64_t run_fingerprint(const NofisConfig& cfg,
     // (and thus every existing checkpoint) stays valid.
     if (cfg.coupling == flow::CouplingKind::kRqs)
         fp.add(static_cast<std::uint64_t>(cfg.rqs_bins)).add(cfg.rqs_tail);
+    // Latent-exploration knobs likewise fold in only when the feature is
+    // on, so pre-latent fingerprints (and checkpoints) stay valid.
+    if (cfg.latent.enabled)
+        fp.add(std::uint64_t{0x1a7e47ULL})  // "latent" feature tag
+            .add(static_cast<std::uint64_t>(cfg.latent.chains))
+            .add(static_cast<std::uint64_t>(cfg.latent.steps))
+            .add(cfg.latent.alpha)
+            .add(static_cast<std::uint64_t>(cfg.latent.anneal))
+            .add(cfg.latent.rw_sigma)
+            .add(cfg.latent.sigma_floor)
+            .add(static_cast<std::uint64_t>(cfg.latent.em_iters));
     fp.add(static_cast<std::uint64_t>(cfg.epochs))
         .add(static_cast<std::uint64_t>(cfg.samples_per_epoch))
         .add(cfg.learning_rate)
@@ -525,6 +536,13 @@ NofisEstimator::RunResult NofisEstimator::run(
         // snapshot written above and spends the final IS exactly once.
         est.failed = true;
         est.detail = "interrupted by stop request; resume to continue";
+    } else if (cfg_.latent.enabled) {
+        // Latent-space exploration (DESIGN.md §16): the chain budget is
+        // carved out of n_is, so the total g-spend matches plain final IS.
+        est = latent::explore_and_estimate(*stack, guarded, eng, cfg_.n_is,
+                                           cfg_.tau, levels_.level(0),
+                                           cfg_.latent, &is_diag,
+                                           &result.latent_report);
     } else {
         est = importance_estimate(*stack, guarded, eng, cfg_.n_is, &is_diag,
                                   cfg_.defensive_weight,

@@ -9,6 +9,7 @@
 #include "estimators/problem.hpp"
 #include "evalcache/eval_cache.hpp"
 #include "flow/coupling_stack.hpp"
+#include "latent/latent_explore.hpp"
 #include "nn/optimizer.hpp"
 
 namespace nofis::core {
@@ -51,6 +52,15 @@ struct NofisConfig {
     /// Powell). 0 disables (the paper's plain Eq. 2 estimator).
     double defensive_weight = 0.0;
     double defensive_sigma = 1.5;
+
+    /// Extension (latent-space exploration, DESIGN.md §16): when enabled,
+    /// the final IS budget is split — K·(S+1) g-calls run annealed
+    /// Metropolis chains in the trained flow's base space to find
+    /// under-covered failure lobes, and the remaining draws use the latent
+    /// defensive mixture α·N(0,I) + (1−α)·refined as the proposal. Total
+    /// g-budget is identical to plain final IS with n_is draws. Mutually
+    /// composable with everything above; disabled keeps runs bit-identical.
+    latent::LatentConfig latent;
 
     // --- fault-tolerant runtime (DESIGN.md, "Failure handling & recovery").
     /// Policy for faulty g / g_grad evaluations. Every call the estimator
@@ -144,6 +154,8 @@ public:
         IsDiagnostics is_diag;
         RunHealth health;  ///< faults, rollbacks, proposal-quality signals
         std::unique_ptr<flow::CouplingStack> flow;  ///< trained model
+        /// Exploration ledger when cfg.latent.enabled (zeros otherwise).
+        latent::LatentReport latent_report;
         /// True when the run stopped early at a stage boundary because
         /// checkpoint::stop_requested() (SIGINT/SIGTERM) was set. The final
         /// snapshot was written; `estimate` is marked failed and no final

@@ -80,6 +80,10 @@ linalg::Matrix GaussianMixture::sample(rng::Engine& eng, std::size_t n) const {
 double GaussianMixture::log_pdf(std::span<const double> x) const {
     if (x.size() != dim_)
         throw std::invalid_argument("GaussianMixture::log_pdf: dim mismatch");
+    for (double v : x)
+        if (!std::isfinite(v))
+            throw std::invalid_argument(
+                "GaussianMixture::log_pdf: non-finite input");
     // log-sum-exp over components for numerical stability.
     double max_term = -std::numeric_limits<double>::infinity();
     std::vector<double> terms(comps_.size());

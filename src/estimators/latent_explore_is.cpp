@@ -1,0 +1,14 @@
+#include "estimators/latent_explore_is.hpp"
+
+namespace nofis::estimators {
+
+LatentExploreIs::LatentExploreIs(core::NofisConfig cfg,
+                                 core::LevelSchedule levels)
+    : inner_(enable_latent(std::move(cfg)), std::move(levels)) {}
+
+EstimateResult LatentExploreIs::estimate(const RareEventProblem& problem,
+                                         rng::Engine& eng) const {
+    return inner_.estimate(problem, eng);
+}
+
+}  // namespace nofis::estimators

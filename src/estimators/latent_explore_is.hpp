@@ -1,0 +1,38 @@
+#pragma once
+
+#include "core/nofis.hpp"
+
+namespace nofis::estimators {
+
+/// Estimator strategy for the latent-space exploration extension
+/// (DESIGN.md §16): a full NOFIS training run whose final-IS budget is
+/// split between annealed Metropolis exploration in the learned flow's
+/// base space and a defensive-mixture final estimate. Total g-budget is
+/// identical to plain NOFIS with the same config — the benches compare the
+/// two at matched cost.
+///
+/// Defined in src/estimators for discoverability next to the other
+/// strategies, but compiled into nofis_core (it drives NofisEstimator,
+/// which the nofis_estimators library must not link back to).
+class LatentExploreIs final : public Estimator {
+public:
+    /// Forces `cfg.latent.enabled = true`; all other latent knobs are
+    /// honoured as given.
+    LatentExploreIs(core::NofisConfig cfg, core::LevelSchedule levels);
+
+    std::string name() const override { return "NOFIS-LE"; }
+
+    EstimateResult estimate(const RareEventProblem& problem,
+                            rng::Engine& eng) const override;
+
+    const core::NofisEstimator& inner() const noexcept { return inner_; }
+
+private:
+    static core::NofisConfig enable_latent(core::NofisConfig cfg) {
+        cfg.latent.enabled = true;
+        return cfg;
+    }
+    core::NofisEstimator inner_;
+};
+
+}  // namespace nofis::estimators

@@ -1,0 +1,52 @@
+#include "latent/anneal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nofis::latent {
+
+namespace {
+/// Geometric decay floor: the geom ladder follows a_start · r^frac, shifted
+/// and rescaled so it hits a_start at frac = 0 and exactly 0 at frac = 1.
+constexpr double kGeomFloor = 0.01;
+}  // namespace
+
+AnnealKind parse_anneal(const std::string& name) {
+    if (name == "linear") return AnnealKind::kLinear;
+    if (name == "geom") return AnnealKind::kGeom;
+    if (name == "none") return AnnealKind::kNone;
+    throw std::invalid_argument("unknown anneal schedule '" + name +
+                                "' (expected linear|geom|none)");
+}
+
+const char* anneal_name(AnnealKind kind) noexcept {
+    switch (kind) {
+        case AnnealKind::kLinear: return "linear";
+        case AnnealKind::kGeom: return "geom";
+        case AnnealKind::kNone: return "none";
+    }
+    return "?";
+}
+
+AnnealSchedule::AnnealSchedule(AnnealKind kind, double a_start,
+                               std::size_t steps)
+    : kind_(kind), a_start_(a_start > 0.0 ? a_start : 0.0), steps_(steps) {}
+
+double AnnealSchedule::level(std::size_t step) const noexcept {
+    if (kind_ == AnnealKind::kNone || a_start_ <= 0.0) return 0.0;
+    if (steps_ == 0 || step >= steps_) return 0.0;
+    const double frac =
+        static_cast<double>(step) / static_cast<double>(steps_);
+    switch (kind_) {
+        case AnnealKind::kLinear:
+            return a_start_ * (1.0 - frac);
+        case AnnealKind::kGeom:
+            return a_start_ * (std::pow(kGeomFloor, frac) - kGeomFloor) /
+                   (1.0 - kGeomFloor);
+        case AnnealKind::kNone:
+            break;
+    }
+    return 0.0;
+}
+
+}  // namespace nofis::latent

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace nofis::latent {
+
+/// Shape of the level ladder the latent chains anneal along.
+enum class AnnealKind {
+    kLinear,  ///< a_t falls linearly from a_start to 0
+    kGeom,    ///< geometric decay toward 0 (spends more steps near the end)
+    kNone,    ///< no annealing: every step targets the final level a = 0
+};
+
+/// Parses "linear" / "geom" / "none"; throws std::invalid_argument otherwise.
+AnnealKind parse_anneal(const std::string& name);
+const char* anneal_name(AnnealKind kind) noexcept;
+
+/// Deterministic annealing ladder for the latent exploration chains
+/// (DESIGN.md §16): step t of S targets the tempered failure indicator at
+/// level a_t, interpolated from a_start (the training schedule's first,
+/// easiest level) down to exactly 0 (the true failure set) at t = S. Early
+/// steps therefore accept moves toward the broad near-failure basin; late
+/// steps concentrate the chains on Ω itself.
+class AnnealSchedule {
+public:
+    /// `a_start` <= 0 collapses every level to 0 (the schedule's first
+    /// level already is the failure set).
+    AnnealSchedule(AnnealKind kind, double a_start, std::size_t steps);
+
+    /// Level a_t for step t in [0, steps]; t >= steps returns exactly 0.
+    double level(std::size_t step) const noexcept;
+
+    std::size_t steps() const noexcept { return steps_; }
+    double a_start() const noexcept { return a_start_; }
+
+private:
+    AnnealKind kind_;
+    double a_start_;
+    std::size_t steps_;
+};
+
+}  // namespace nofis::latent

@@ -1,0 +1,61 @@
+#include "latent/refine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace nofis::latent {
+
+dist::GaussianMixture fit_refinement(const ExploreResult& explored,
+                                     std::size_t dim,
+                                     const RefineConfig& cfg) {
+    const linalg::Matrix& h = explored.harvest;
+    const std::size_t n = h.rows();
+    if (n == 0 || h.cols() != dim || explored.harvest_chain.size() != n)
+        throw std::invalid_argument("latent::fit_refinement: empty or ragged harvest");
+    std::size_t num_chains = 0;
+    for (std::size_t c : explored.harvest_chain)
+        num_chains = std::max(num_chains, c + 1);
+
+    // Per-chain moment fit: mean and diagonal sigma of the chain's rows.
+    std::vector<dist::GaussianMixture::Component> comps;
+    comps.reserve(num_chains);
+    for (std::size_t c = 0; c < num_chains; ++c) {
+        std::size_t count = 0;
+        std::vector<double> mean(dim, 0.0);
+        for (std::size_t r = 0; r < n; ++r) {
+            if (explored.harvest_chain[r] != c) continue;
+            ++count;
+            const auto row = h.row_span(r);
+            for (std::size_t j = 0; j < dim; ++j) mean[j] += row[j];
+        }
+        if (count == 0) continue;
+        for (double& m : mean) m /= static_cast<double>(count);
+        std::vector<double> sigma(dim, cfg.sigma_floor);
+        for (std::size_t j = 0; j < dim; ++j) {
+            double var = 0.0;
+            for (std::size_t r = 0; r < n; ++r) {
+                if (explored.harvest_chain[r] != c) continue;
+                const double dx = h(r, j) - mean[j];
+                var += dx * dx;
+            }
+            var /= static_cast<double>(count);
+            sigma[j] = std::max(std::sqrt(var), cfg.sigma_floor);
+        }
+        comps.push_back({static_cast<double>(count), std::move(mean),
+                         std::move(sigma)});
+    }
+    dist::GaussianMixture mix(std::move(comps));
+
+    // EM polish over the pooled harvest (unit weights): chains that settled
+    // into the same lobe merge, stragglers keep their own component.
+    if (cfg.em_iters > 0) {
+        const std::vector<double> w(n, 1.0);
+        for (std::size_t it = 0; it < cfg.em_iters; ++it)
+            mix.ce_update(h, w, cfg.sigma_floor);
+    }
+    return mix;
+}
+
+}  // namespace nofis::latent

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "dist/gaussian_mixture.hpp"
+#include "latent/chain.hpp"
+
+namespace nofis::latent {
+
+/// Knobs of the latent refinement fit.
+struct RefineConfig {
+    /// Per-dim sigma floor of every fitted component. Keeps the refined
+    /// proposal's support covering the base distribution locally, which the
+    /// defensive mixture needs for finite weights (same role as the
+    /// Adapt-IS floor in dist::GaussianMixture::ce_update).
+    double sigma_floor = 0.05;
+    /// Weighted-EM polish iterations over the pooled harvest after the
+    /// per-chain moment fit (0 keeps the raw moment components).
+    std::size_t em_iters = 2;
+};
+
+/// Fits the latent refinement distribution from harvested chain states:
+/// one diagonal-Gaussian component per chain (each chain tends to settle
+/// into one failure lobe) from that chain's post-burn-in moments, weighted
+/// by harvest share, then optionally polished with unweighted EM over the
+/// pooled harvest so chains that found the same lobe merge their mass.
+/// Deterministic: pure arithmetic over the harvest, no RNG.
+dist::GaussianMixture fit_refinement(const ExploreResult& explored,
+                                     std::size_t dim,
+                                     const RefineConfig& cfg = {});
+
+}  // namespace nofis::latent

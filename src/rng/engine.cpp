@@ -55,4 +55,16 @@ Engine Engine::split() noexcept {
     return Engine((*this)() ^ 0x2545f4914f6cdd1dULL);
 }
 
+Engine substream(std::uint64_t seed, std::uint64_t stream_id) noexcept {
+    // Avalanche-mix the seed BEFORE folding in the id: xoring the id into
+    // the merely-advanced state would alias the substream families of
+    // nearby seeds (seed+gamma differs by 1 between seed 1 and 2, so
+    // substream(1, i) would equal substream(2, i^1)). After full mixing,
+    // a cross-seed collision needs mix(s1) ^ mix(s2) inside the id range —
+    // vanishingly unlikely — and a second round decorrelates nearby ids.
+    std::uint64_t sm = seed;
+    std::uint64_t mixed = splitmix64(sm) ^ stream_id;
+    return Engine(splitmix64(mixed));
+}
+
 }  // namespace nofis::rng

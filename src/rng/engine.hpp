@@ -53,4 +53,12 @@ private:
     std::array<std::uint64_t, 4> s_{};
 };
 
+/// Derives the `stream_id`-th independent substream of a master `seed`
+/// without consuming any draws from an existing engine. The (seed, id) pair
+/// is mixed through splitmix64 before the usual seeding expansion, so
+/// substream(s, i) and substream(s, j) are decorrelated for i != j and the
+/// mapping is stable under changes to the number of streams requested —
+/// chain 3 always gets the same stream whether 4 or 400 chains run.
+Engine substream(std::uint64_t seed, std::uint64_t stream_id) noexcept;
+
 }  // namespace nofis::rng

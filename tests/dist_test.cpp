@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "dist/diag_gaussian.hpp"
 #include "dist/full_gaussian.hpp"
@@ -173,6 +174,88 @@ TEST(Mixture, CeUpdateIgnoresAllZeroWeights) {
     m.ce_update(x, w);
     EXPECT_EQ(m.component(0).mean, before);
 }
+
+class MixtureRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MixtureRoundTrip, SampleMomentsMatchMixtureMoments) {
+    // Two well-separated components in `dim` dimensions (2 = the toy cases,
+    // 26 = YBranch): sample moments must reproduce the analytic mixture
+    // mean Σ wᵢμᵢ and variance Σ wᵢ(σᵢ² + μᵢ²) − mean² per coordinate.
+    const std::size_t dim = GetParam();
+    std::vector<GaussianMixture::Component> comps(2);
+    comps[0].weight = 0.3;
+    comps[1].weight = 0.7;
+    for (std::size_t j = 0; j < dim; ++j) {
+        comps[0].mean.push_back(-2.0 + 0.1 * static_cast<double>(j));
+        comps[0].sigma.push_back(0.8);
+        comps[1].mean.push_back(1.5);
+        comps[1].sigma.push_back(1.2);
+    }
+    const GaussianMixture m(comps);
+    Engine eng(42);
+    const Matrix x = m.sample(eng, 40000);
+    ASSERT_EQ(x.cols(), dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+        const double mu = 0.3 * comps[0].mean[j] + 0.7 * comps[1].mean[j];
+        const double var = 0.3 * (0.8 * 0.8 + comps[0].mean[j] *
+                                                  comps[0].mean[j]) +
+                           0.7 * (1.2 * 1.2 + comps[1].mean[j] *
+                                                  comps[1].mean[j]) -
+                           mu * mu;
+        double s1 = 0.0, s2 = 0.0;
+        for (std::size_t r = 0; r < x.rows(); ++r) {
+            s1 += x(r, j);
+            s2 += x(r, j) * x(r, j);
+        }
+        const double sm = s1 / static_cast<double>(x.rows());
+        const double sv = s2 / static_cast<double>(x.rows()) - sm * sm;
+        EXPECT_NEAR(sm, mu, 0.05) << "dim " << j;
+        EXPECT_NEAR(sv, var, 0.15) << "dim " << j;
+    }
+    // And the density agrees with where the samples actually land.
+    double mean_lp = 0.0;
+    for (std::size_t r = 0; r < 100; ++r)
+        mean_lp += m.log_pdf(x.row_span(r));
+    EXPECT_TRUE(std::isfinite(mean_lp));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MixtureRoundTrip,
+                         ::testing::Values(std::size_t{2}, std::size_t{26}));
+
+TEST(Mixture, LogPdfRejectsNonFiniteInput) {
+    GaussianMixture m({{1.0, {0.0, 0.0}, {1.0, 1.0}}});
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    const double bad_nan[] = {0.0, nan};
+    const double bad_inf[] = {inf, 0.0};
+    const double bad_ninf[] = {-inf, 0.0};
+    EXPECT_THROW(m.log_pdf(bad_nan), std::invalid_argument);
+    EXPECT_THROW(m.log_pdf(bad_inf), std::invalid_argument);
+    EXPECT_THROW(m.log_pdf(bad_ninf), std::invalid_argument);
+}
+
+class MixtureSingleComponent : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(MixtureSingleComponent, LogPdfMatchesDiagGaussianEverywhere) {
+    const std::size_t dim = GetParam();
+    std::vector<double> mean(dim), sigma(dim);
+    for (std::size_t j = 0; j < dim; ++j) {
+        mean[j] = 0.3 * static_cast<double>(j) - 1.0;
+        sigma[j] = 0.5 + 0.1 * static_cast<double>(j);
+    }
+    const GaussianMixture m({{1.0, mean, sigma}});
+    const DiagGaussian d(mean, sigma);
+    Engine eng(8);
+    const Matrix x = m.sample(eng, 200);
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        EXPECT_NEAR(m.log_pdf(x.row_span(r)), d.log_pdf(x.row_span(r)),
+                    1e-12)
+            << "row " << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MixtureSingleComponent,
+                         ::testing::Values(std::size_t{2}, std::size_t{26}));
 
 TEST(Mixture, LogPdfRowsMatchesScalar) {
     GaussianMixture m({{0.5, {0.0, 0.0}, {1.0, 1.0}},
